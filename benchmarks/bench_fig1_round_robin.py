@@ -1,0 +1,36 @@
+"""F1 — Figure 1: the round robin allotment example.
+
+Regenerates the paper's 10-class / 4-machine layout and benchmarks the
+round robin allotment at realistic sizes. Shape assertions: the layout
+matches the figure exactly and Lemma 3's bound holds at every size.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.analysis.figures import figure1_layout
+from repro.analysis.reporting import experiment_header
+from repro.approx.round_robin import lemma3_bound, round_robin_assignment
+
+
+def test_fig1_layout_matches_paper():
+    rows, art = figure1_layout()
+    report(experiment_header(
+        "F1", "Figure 1 (round robin example)",
+        "machine 1 receives classes 1, 5, 9; rounds stack left to right"))
+    report(art)
+    assert rows[0] == [0, 1, 2, 3]
+    assert rows[1] == [4, 5, 6, 7]
+    assert rows[2] == [8, 9]
+
+
+def test_fig1_round_robin_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    sizes = [int(x) for x in rng.integers(1, 10**6, size=20_000)]
+
+    def run():
+        return round_robin_assignment(sizes, 128)
+
+    rows = benchmark(run)
+    loads = [sum(sizes[i] for i in row) for row in rows]
+    assert max(loads) <= lemma3_bound(sizes, 128)

@@ -1,0 +1,50 @@
+"""F5 — Figure 5: the flow network of Lemma 16.
+
+Builds the layered flow network for a well-structured preemptive schedule
+shape and verifies the integral max flow attains the total piece count —
+the constructive core of Lemma 16. Benchmarks max-flow on a scaled-up
+network.
+"""
+
+from fractions import Fraction
+
+import networkx as nx
+import numpy as np
+
+from conftest import report
+from repro import Instance
+from repro.analysis.reporting import experiment_header, format_table
+from repro.ptas.preemptive import build_lemma16_network
+from repro.workloads import uniform_instance
+
+
+def test_fig5_flow_attains_piece_count():
+    inst = Instance((10, 10, 6, 8), (0, 0, 1, 2), 2, 2)
+    T, q = 18, 2
+    class_on = {(i, u): True for i in range(2) for u in range(3)}
+    loads = {0: Fraction(17), 1: Fraction(17)}
+    G, total = build_lemma16_network(inst, T, q, class_on, loads)
+    value, _ = nx.maximum_flow(G, "alpha", "omega")
+    report(experiment_header(
+        "F5", "Figure 5 (Lemma 16 flow network)",
+        "integral max flow = total piece count"))
+    report(format_table(
+        ["nodes", "edges", "total pieces", "max flow"],
+        [[G.number_of_nodes(), G.number_of_edges(), total, value]]))
+    assert value == total
+
+
+def test_fig5_flow_scales(benchmark):
+    rng = np.random.default_rng(5)
+    inst = uniform_instance(rng, n=40, C=6, m=6, c=3, p_hi=30)
+    T = int(sum(inst.processing_times) / inst.machines * 1.5)
+    class_on = {(i, u): True for i in range(6) for u in range(6)}
+    loads = {i: Fraction(T) for i in range(6)}
+
+    def run():
+        G, total = build_lemma16_network(inst, T, 2, class_on, loads)
+        value, _ = nx.maximum_flow(G, "alpha", "omega")
+        return value, total
+
+    value, total = benchmark(run)
+    assert value == total

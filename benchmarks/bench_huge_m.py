@@ -1,0 +1,50 @@
+"""R2 — the machine count enters only logarithmically (splittable case).
+
+Theorem 4's huge-m extension: the splittable solver's running time and
+output size must stay polynomial in n as m grows to 2^60. We time the
+solver over m = 2^10 .. 2^60 and assert near-flat growth.
+"""
+
+import time
+
+from conftest import report
+from repro import Instance, validate
+from repro.analysis.reporting import experiment_header, format_table
+from repro.approx.splittable import solve_splittable
+
+EXPONENTS = (10, 20, 30, 40, 50, 60)
+
+
+def make_instance(m_exp: int) -> Instance:
+    return Instance(tuple([10**9] * 16), tuple([i % 4 for i in range(16)]),
+                    machines=2**m_exp, class_slots=2)
+
+
+def test_r2_runtime_flat_in_log_m():
+    rows = []
+    times = []
+    for e in EXPONENTS:
+        inst = make_instance(e)
+        t0 = time.perf_counter()
+        res = solve_splittable(inst)
+        dt = time.perf_counter() - t0
+        mk = validate(inst, res.schedule)
+        assert mk <= 2 * res.guess
+        rows.append([f"2^{e}", f"{dt * 1e3:.1f}ms",
+                     type(res.schedule).__name__])
+        times.append(dt)
+    report(experiment_header(
+        "R2", "huge machine counts (Theorems 4/11)",
+        "runtime grows at most logarithmically in m"))
+    report(format_table(["m", "time", "schedule kind"], rows))
+    # shape: once the compact representation kicks in (m >= 2^20 here),
+    # the runtime is flat in m. The first point may use the explicit
+    # representation, which is allowed to be slower.
+    compact = times[1:]
+    assert max(compact) <= 20 * max(min(compact), 1e-4)
+
+
+def test_r2_single_solve(benchmark):
+    inst = make_instance(60)
+    res = benchmark(lambda: solve_splittable(inst))
+    assert res.makespan <= 2 * res.guess

@@ -1,0 +1,85 @@
+"""N1 — Theorem 1: the N-fold substrate.
+
+Cross-checks the three solvers (block DP, Graver-style augmentation, MILP)
+on random N-folds, reports measured solve times next to how the Theorem 1
+bound scales, and builds the faithful configuration N-folds of Section 4
+reporting their (r, s, t, Δ) block parameters.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from conftest import report
+from repro import Instance
+from repro.analysis.reporting import experiment_header, format_table
+from repro.nfold import (NFold, augment, parameters_of, solve_dp, solve_milp,
+                         theorem1_log10_bound)
+from repro.ptas.nfold_builders import (build_nonpreemptive_nfold,
+                                       build_splittable_nfold)
+
+
+def random_nfold(rng: np.random.Generator, N: int) -> NFold:
+    t = 3
+    A = rng.integers(-2, 3, size=(1, t))
+    B = rng.integers(-2, 3, size=(1, t))
+    lo = np.zeros(t, dtype=int)
+    hi = rng.integers(1, 4, size=t)
+    w = rng.integers(-5, 6, size=t)
+    x = np.concatenate([
+        np.array([rng.integers(l, h + 1) for l, h in zip(lo, hi)])
+        for _ in range(N)])
+    bg = sum(A @ x[i * t:(i + 1) * t] for i in range(N))
+    bl = [B @ x[i * t:(i + 1) * t] for i in range(N)]
+    return NFold([A] * N, [B] * N, bg, bl, np.tile(lo, N), np.tile(hi, N),
+                 np.tile(w, N))
+
+
+def test_n1_solver_agreement():
+    rng = np.random.default_rng(0)
+    rows = []
+    for trial in range(10):
+        nf = random_nfold(rng, N=4)
+        xd, xm = solve_dp(nf), solve_milp(nf)
+        assert (xd is None) == (xm is None)
+        if xd is not None:
+            assert nf.objective(xd) == nf.objective(xm)
+            xa = augment(nf, xm, rho=2)
+            assert nf.objective(xa) <= nf.objective(xm)
+            rows.append([trial, nf.objective(xd), nf.objective(xa)])
+    report(experiment_header(
+        "N1", "Theorem 1 (N-fold solvability)",
+        "block DP, augmentation and MILP agree on optima"))
+    report(format_table(["trial", "dp/milp optimum", "augmented"], rows))
+
+
+def test_n1_configuration_nfold_parameters():
+    inst = Instance((4, 4, 3, 2, 5), (0, 0, 1, 1, 2), 2, 2)
+    rows = []
+    for name, nf in (
+            ("splittable (Sec 4.1)",
+             build_splittable_nfold(inst, Fraction(9), q=2)),
+            ("non-preemptive (Sec 4.2)",
+             build_nonpreemptive_nfold(inst, 9, q=2))):
+        p = parameters_of(nf)
+        rows.append([name, p.N, p.r, p.s, p.t, p.delta,
+                     f"{theorem1_log10_bound(p):.0f}"])
+        assert solve_milp(nf) is not None
+    report(format_table(
+        ["configuration IP", "N", "r", "s", "t", "Δ",
+         "log10 Thm-1 bound"], rows))
+    # the paper's structural claim: s stays tiny (2 resp. |P|+1)
+    assert rows[0][3] == 2
+
+
+def test_n1_dp_linear_in_N(benchmark):
+    rng = np.random.default_rng(3)
+    nf = random_nfold(rng, N=40)
+    x = benchmark(lambda: solve_dp(nf))
+    assert x is None or nf.is_feasible(x)
+
+
+def test_n1_milp_backend_speed(benchmark):
+    rng = np.random.default_rng(4)
+    nf = random_nfold(rng, N=40)
+    benchmark(lambda: solve_milp(nf))

@@ -1,0 +1,47 @@
+"""P2 — Theorem 14: the non-preemptive PTAS epsilon sweep."""
+
+from conftest import report
+from repro.analysis.reporting import experiment_header, format_table
+from repro.core.validation import validate
+from repro.exact import opt_nonpreemptive
+from repro.ptas.nonpreemptive import ptas_nonpreemptive
+from repro.workloads.suites import ptas_suite
+
+QS = (2, 3)
+
+
+def envelope(q: float) -> float:
+    return (1 + 3 / q) * (1 + 2 / q) + 1 / q
+
+
+def test_p2_epsilon_sweep():
+    suite = list(ptas_suite())
+    rows = []
+    worst_by_q = {}
+    for q in QS:
+        worst = 0.0
+        for _, inst in suite:
+            res = ptas_nonpreemptive(inst, delta=q)
+            mk = validate(inst, res.schedule)
+            worst = max(worst, mk / opt_nonpreemptive(inst))
+        worst_by_q[q] = worst
+        rows.append([f"1/{q}", worst, envelope(q)])
+    report(experiment_header(
+        "P2", "Theorem 14 (non-preemptive PTAS)",
+        "measured worst ratio under the (1+3d)(1+2d)+d envelope"))
+    report(format_table(["delta", "worst ratio", "envelope"], rows))
+    for q, worst in worst_by_q.items():
+        assert worst <= envelope(q) + 1e-9
+
+
+def test_p2_guess_is_lower_bound():
+    # rejection at T certifies OPT > T, so the accepted guess <= OPT
+    for _, inst in ptas_suite(seeds=2):
+        res = ptas_nonpreemptive(inst, delta=2)
+        assert res.guess <= opt_nonpreemptive(inst)
+
+
+def test_p2_single_run_cost(benchmark):
+    _, inst = next(iter(ptas_suite(seeds=1)))
+    res = benchmark(lambda: ptas_nonpreemptive(inst, delta=2))
+    assert res.makespan > 0

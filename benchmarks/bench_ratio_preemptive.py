@@ -1,0 +1,40 @@
+"""T5 — Theorem 5: the preemptive 2-approximation never exceeds ratio 2."""
+
+from conftest import report
+from repro.analysis.ratio import measure_ratios
+from repro.analysis.reporting import experiment_header
+from repro.approx.preemptive import solve_preemptive
+from repro.core.bounds import preemptive_lower_bound
+from repro.core.validation import validate
+from repro.exact import opt_preemptive
+from repro.workloads.suites import large_ratio_suite, small_ratio_suite
+
+
+def run_alg(inst):
+    res = solve_preemptive(inst)
+    return float(validate(inst, res.schedule))
+
+
+def test_t5_ratio_vs_exact():
+    rep = measure_ratios("preemptive 2-approx", 2.0,
+                         small_ratio_suite(), run_alg,
+                         baseline=opt_preemptive)
+    report(experiment_header(
+        "T5", "Theorem 5 (preemptive, ratio 2)",
+        "max observed ratio <= 2 with full non-parallelism validation"))
+    report(rep.summary())
+    assert rep.within_bound(1e-6)
+
+
+def test_t5_ratio_vs_lower_bound():
+    rep = measure_ratios("preemptive 2-approx (vs LB)", 2.0,
+                         large_ratio_suite(), run_alg,
+                         baseline=lambda i: float(preemptive_lower_bound(i)),
+                         baseline_is_exact=False)
+    report(rep.summary())
+    assert rep.within_bound(1e-6)
+
+
+def test_t5_solver_speed(benchmark):
+    insts = [inst for _, inst in large_ratio_suite(seeds=1)]
+    benchmark(lambda: [solve_preemptive(i).makespan for i in insts])

@@ -1,0 +1,54 @@
+"""T4 — Theorem 4: the splittable 2-approximation never exceeds ratio 2.
+
+Small suite vs exact optima, large suite vs certified lower bounds, plus
+the adversarial family that pushes the bound. Benchmarks the solver on the
+large suite.
+"""
+
+from conftest import report
+from repro.analysis.ratio import measure_ratios
+from repro.analysis.reporting import experiment_header, format_table
+from repro.approx.splittable import solve_splittable
+from repro.core.bounds import splittable_lower_bound
+from repro.core.validation import validate
+from repro.exact import opt_splittable
+from repro.workloads.suites import large_ratio_suite, small_ratio_suite
+
+
+def run_alg(inst):
+    res = solve_splittable(inst)
+    return float(validate(inst, res.schedule))
+
+
+def test_t4_ratio_vs_exact():
+    rep = measure_ratios("splittable 2-approx", 2.0,
+                         small_ratio_suite(), run_alg,
+                         baseline=opt_splittable)
+    report(experiment_header(
+        "T4", "Theorem 4 (splittable, ratio 2)",
+        "max observed ratio <= 2; typical ratios well below the bound"))
+    report(rep.summary())
+    assert rep.within_bound(1e-6)
+    assert rep.mean_ratio < 1.8
+
+
+def test_t4_ratio_vs_lower_bound():
+    rep = measure_ratios("splittable 2-approx (vs LB)", 2.0,
+                         large_ratio_suite(), run_alg,
+                         baseline=lambda i: float(splittable_lower_bound(i)),
+                         baseline_is_exact=False)
+    report(rep.summary())
+    report(format_table(
+        ["instance", "ratio vs LB"],
+        [[o.instance_label, o.ratio] for o in rep.observations]))
+    assert rep.within_bound(1e-6)
+
+
+def test_t4_solver_speed(benchmark):
+    suite = list(large_ratio_suite(seeds=1))
+    insts = [inst for _, inst in suite]
+
+    def run():
+        return [solve_splittable(i).makespan for i in insts]
+
+    benchmark(run)

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints a paper-vs-measured table (visible with ``pytest -s``)
+and asserts the *shape* claims of DESIGN.md's experiment index — who wins,
+bounded ratios, scaling exponents — never the authors' absolute numbers
+(the paper has none: it is a theory paper, so the artifacts are its figures
+and guarantee table).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(text: str) -> None:
+    """Print a table so `pytest -s benchmarks/` shows the experiment
+    output; kept as a helper so benches stay uniform."""
+    print("\n" + text)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The accuracy/runtime trade-off of the PTAS (Section 4).
+
+Sweeps the rounding accuracy ``delta = 1/q`` for the splittable and
+non-preemptive PTASes on one instance, printing measured ratio (vs the
+exact optimum), the worst-case envelope, and solve time — the concrete
+shape of "PTAS: arbitrarily good, increasingly expensive".
+
+Run:  python examples/ptas_tradeoff.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import validate
+from repro.analysis.reporting import format_table
+from repro.exact import opt_nonpreemptive, opt_splittable
+from repro.ptas.nonpreemptive import ptas_nonpreemptive
+from repro.ptas.splittable import ptas_splittable
+from repro.workloads import uniform_instance
+
+
+def sweep(name, ptas, opt, qs, envelope):
+    rows = []
+    for q in qs:
+        t0 = time.perf_counter()
+        res = ptas(delta=q)
+        dt = time.perf_counter() - t0
+        mk = float(validate(res_inst, res.schedule))
+        rows.append([f"1/{q}", f"{mk / opt:.4f}", f"{envelope(q):.2f}",
+                     f"{dt * 1e3:.0f}ms", res.guesses_tried])
+    print(format_table(
+        ["delta", "measured ratio", "worst-case envelope", "time",
+         "guesses"], rows, title=name))
+    print()
+
+
+if __name__ == "__main__":
+    rng = np.random.default_rng(123)
+    res_inst = uniform_instance(rng, n=14, C=4, m=3, c=2, p_hi=25)
+    print(res_inst)
+    print()
+
+    sweep("splittable PTAS (Theorem 10)",
+          lambda delta: ptas_splittable(res_inst, delta=delta),
+          opt_splittable(res_inst), qs=(2, 3, 4, 5),
+          envelope=lambda q: (1 + 5 / q) * (1 + 1 / q))
+
+    sweep("non-preemptive PTAS (Theorem 14)",
+          lambda delta: ptas_nonpreemptive(res_inst, delta=delta),
+          opt_nonpreemptive(res_inst), qs=(2, 3),
+          envelope=lambda q: (1 + 3 / q) * (1 + 2 / q) + 1 / q)
+
+    print("for comparison, the constant-factor algorithms answer instantly "
+          "with guarantees 2 and 7/3;")
+    print("the PTAS buys the gap between those bounds and 1+epsilon with "
+          "configuration-ILP time.")

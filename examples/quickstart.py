@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: solve one Class Constrained Scheduling instance every way.
+
+Builds a small instance, runs the three constant-factor algorithms
+(Theorems 4-6), one PTAS, the exact solver, and prints a comparison —
+about a minute of reading to see the whole public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (Instance, solve_nonpreemptive, solve_preemptive,
+                   solve_splittable, validate)
+from repro.analysis.figures import render_rows
+from repro.exact import opt_nonpreemptive, opt_preemptive, opt_splittable
+from repro.ptas.nonpreemptive import ptas_nonpreemptive
+
+
+def main() -> None:
+    # 10 jobs across 4 classes; 3 machines, each able to host 2 classes.
+    inst = Instance.create(
+        processing_times=[9, 7, 6, 6, 5, 5, 4, 3, 2, 2],
+        classes=["red", "red", "blue", "blue", "green", "green",
+                 "yellow", "yellow", "green", "blue"],
+        machines=3,
+        class_slots=2,
+    )
+    print(inst)
+    print()
+
+    print("== constant-factor approximations (Section 3) ==")
+    rs = solve_splittable(inst)
+    print(f"splittable  2-approx: makespan {float(rs.makespan):6.2f}  "
+          f"(guess T = {float(rs.guess):.2f}, certified <= 2T)")
+    rp = solve_preemptive(inst)
+    print(f"preemptive  2-approx: makespan {float(rp.makespan):6.2f}  "
+          f"(guess T = {float(rp.guess):.2f})")
+    rn = solve_nonpreemptive(inst)
+    print(f"non-preempt 7/3-approx: makespan {rn.makespan:6d}  "
+          f"(guess T = {rn.guess})")
+    print()
+
+    print("== PTAS (Section 4) ==")
+    pt = ptas_nonpreemptive(inst, delta=2)  # delta = 1/2
+    print(f"non-preemptive PTAS(delta=1/2): makespan {int(pt.makespan)}  "
+          f"after {pt.guesses_tried} guesses")
+    print()
+
+    print("== exact optima (ground truth for small instances) ==")
+    print(f"splittable OPT     = {opt_splittable(inst):.3f}")
+    print(f"preemptive OPT     = {opt_preemptive(inst):.3f}")
+    print(f"non-preemptive OPT = {opt_nonpreemptive(inst)}")
+    print()
+
+    # every schedule is independently validated
+    for name, res in (("splittable", rs), ("preemptive", rp),
+                      ("non-preemptive", rn)):
+        mk = validate(inst, res.schedule)
+        print(f"validated {name}: makespan {float(mk):.2f}")
+    print()
+
+    print("splittable schedule (load bars):")
+    print(render_rows(rs.schedule, inst))
+
+
+if __name__ == "__main__":
+    main()

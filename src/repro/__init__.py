@@ -1,0 +1,87 @@
+"""repro — Class Constrained Scheduling (CCS).
+
+A production-quality reproduction of
+
+    Klaus Jansen, Alexandra Lassota, Marten Maack:
+    "Approximation Algorithms for Scheduling with Class Constraints",
+    SPAA 2020 (arXiv:1909.11970).
+
+Public API highlights
+---------------------
+
+* :class:`repro.Instance` — the problem input.
+* :func:`repro.solve_splittable`, :func:`repro.solve_preemptive`,
+  :func:`repro.solve_nonpreemptive` — the constant-factor approximation
+  algorithms (ratios 2, 2 and 7/3; Theorems 4-6).
+* :func:`repro.ptas_splittable`, :func:`repro.ptas_preemptive`,
+  :func:`repro.ptas_nonpreemptive` — the (1+eps)-approximation schemes
+  (Theorems 10/11, 19, 14).
+* :mod:`repro.exact` — exact optima for small instances (ground truth).
+* :mod:`repro.workloads` — synthetic workload generators.
+* :mod:`repro.nfold` — the N-fold integer programming substrate.
+
+Quickstart
+----------
+
+>>> from repro import Instance, solve_nonpreemptive
+>>> inst = Instance.create([5, 3, 8, 6], classes=["a", "a", "b", "c"],
+...                        machines=2, class_slots=2)
+>>> result = solve_nonpreemptive(inst)
+>>> result.makespan <= (7 / 3) * result.guess
+True
+"""
+
+from .approx import (NonPreemptiveResult, PreemptiveResult, SplittableResult,
+                     solve_nonpreemptive, solve_preemptive, solve_splittable)
+from .core import (CCSError, InfeasibleScheduleError, Instance,
+                   InvalidInstanceError, NonPreemptiveSchedule,
+                   PreemptiveSchedule, SplittableSchedule, validate,
+                   validate_nonpreemptive, validate_preemptive,
+                   validate_splittable)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "solve_splittable",
+    "solve_preemptive",
+    "solve_nonpreemptive",
+    "SplittableResult",
+    "PreemptiveResult",
+    "NonPreemptiveResult",
+    "SplittableSchedule",
+    "PreemptiveSchedule",
+    "NonPreemptiveSchedule",
+    "validate",
+    "validate_splittable",
+    "validate_preemptive",
+    "validate_nonpreemptive",
+    "CCSError",
+    "InvalidInstanceError",
+    "InfeasibleScheduleError",
+    "__version__",
+]
+
+# PTAS entry points are imported lazily to keep base import light; they pull
+# in the MILP backend.
+
+
+def ptas_splittable(*args, **kwargs):
+    """(1+eps)-approximation for the splittable regime (Theorems 10/11)."""
+    from .ptas.splittable import ptas_splittable as _impl
+    return _impl(*args, **kwargs)
+
+
+def ptas_nonpreemptive(*args, **kwargs):
+    """(1+eps)-approximation for the non-preemptive regime (Theorem 14)."""
+    from .ptas.nonpreemptive import ptas_nonpreemptive as _impl
+    return _impl(*args, **kwargs)
+
+
+def ptas_preemptive(*args, **kwargs):
+    """(1+eps)-approximation for the preemptive regime (Theorem 19)."""
+    from .ptas.preemptive import ptas_preemptive as _impl
+    return _impl(*args, **kwargs)
+
+
+__all__ += ["ptas_splittable", "ptas_nonpreemptive", "ptas_preemptive"]

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    solve    run an algorithm on a JSON instance, print/emit the schedule
+    bounds   print the certified lower/upper bounds for an instance
+    generate emit a synthetic instance as JSON
+
+Examples::
+
+    python -m repro generate --kind uniform --n 40 --classes 8 \
+        --machines 4 --slots 2 --seed 7 -o inst.json
+    python -m repro solve inst.json --algorithm nonpreemptive
+    python -m repro solve inst.json --algorithm ptas-splittable --delta 3
+    python -m repro bounds inst.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .approx.nonpreemptive import solve_nonpreemptive
+from .approx.preemptive import solve_preemptive
+from .approx.splittable import solve_splittable
+from .core.bounds import (area_bound, nonpreemptive_lower_bound, pmax_bound,
+                          preemptive_lower_bound, splittable_lower_bound,
+                          trivial_upper_bound)
+from .core.validation import validate
+from .io import dump_instance, instance_to_dict, load_instance, \
+    schedule_to_dict
+from .workloads import (data_placement_instance, uniform_instance,
+                        video_on_demand_instance, zipf_instance)
+
+ALGORITHMS = ("splittable", "preemptive", "nonpreemptive",
+              "ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    name = args.algorithm
+    if name == "splittable":
+        res = solve_splittable(inst)
+    elif name == "preemptive":
+        res = solve_preemptive(inst)
+    elif name == "nonpreemptive":
+        res = solve_nonpreemptive(inst)
+    elif name == "ptas-splittable":
+        from .ptas.splittable import ptas_splittable
+        res = ptas_splittable(inst, delta=args.delta)
+    elif name == "ptas-preemptive":
+        from .ptas.preemptive import ptas_preemptive
+        res = ptas_preemptive(inst, delta=args.delta)
+    elif name == "ptas-nonpreemptive":
+        from .ptas.nonpreemptive import ptas_nonpreemptive
+        res = ptas_nonpreemptive(inst, delta=args.delta)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown algorithm {name}")
+    makespan = validate(inst, res.schedule)
+    print(f"algorithm : {name}", file=sys.stderr)
+    print(f"makespan  : {float(makespan):.6g}", file=sys.stderr)
+    print(f"guess T   : {float(res.guess):.6g}", file=sys.stderr)
+    print(f"certified : makespan/guess = "
+          f"{float(makespan) / float(res.guess):.4f}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(schedule_to_dict(res.schedule), fh, indent=2)
+        print(f"schedule written to {args.output}", file=sys.stderr)
+    elif args.emit:
+        json.dump(schedule_to_dict(res.schedule), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    inst = load_instance(args.instance)
+    print(f"area            : {float(area_bound(inst)):.6g}")
+    print(f"pmax            : {pmax_bound(inst)}")
+    print(f"splittable LB   : {float(splittable_lower_bound(inst)):.6g}")
+    print(f"preemptive LB   : {float(preemptive_lower_bound(inst)):.6g}")
+    print(f"non-preempt LB  : {nonpreemptive_lower_bound(inst)}")
+    print(f"trivial UB      : {float(trivial_upper_bound(inst)):.6g}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "uniform":
+        inst = uniform_instance(rng, args.n, args.classes, args.machines,
+                                args.slots)
+    elif args.kind == "zipf":
+        inst = zipf_instance(rng, args.n, args.classes, args.machines,
+                             args.slots)
+    elif args.kind == "data-placement":
+        inst = data_placement_instance(rng, args.n, args.classes,
+                                       args.machines, args.slots)
+    elif args.kind == "vod":
+        inst = video_on_demand_instance(rng, args.n, args.classes,
+                                        args.machines, args.slots)
+    else:  # pragma: no cover
+        raise SystemExit(f"unknown kind {args.kind}")
+    if args.output:
+        dump_instance(inst, args.output)
+        print(f"instance written to {args.output}", file=sys.stderr)
+    else:
+        json.dump(instance_to_dict(inst), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro",
+                                description="Class Constrained Scheduling")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    ps = sub.add_parser("solve", help="run an algorithm on an instance")
+    ps.add_argument("instance", help="path to an instance JSON file")
+    ps.add_argument("--algorithm", choices=ALGORITHMS,
+                    default="nonpreemptive")
+    ps.add_argument("--delta", type=int, default=2,
+                    help="PTAS accuracy q (delta = 1/q)")
+    ps.add_argument("-o", "--output", help="write the schedule JSON here")
+    ps.add_argument("--emit", action="store_true",
+                    help="print the schedule JSON to stdout")
+    ps.set_defaults(func=_cmd_solve)
+
+    pb = sub.add_parser("bounds", help="print certified makespan bounds")
+    pb.add_argument("instance")
+    pb.set_defaults(func=_cmd_bounds)
+
+    pg = sub.add_parser("generate", help="emit a synthetic instance")
+    pg.add_argument("--kind", choices=("uniform", "zipf", "data-placement",
+                                       "vod"), default="uniform")
+    pg.add_argument("--n", type=int, default=40)
+    pg.add_argument("--classes", type=int, default=8)
+    pg.add_argument("--machines", type=int, default=4)
+    pg.add_argument("--slots", type=int, default=2)
+    pg.add_argument("--seed", type=int, default=0)
+    pg.add_argument("-o", "--output")
+    pg.set_defaults(func=_cmd_generate)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

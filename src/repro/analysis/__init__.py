@@ -1,0 +1,24 @@
+"""Empirical analysis: ratios, scaling fits, figure regeneration, tables."""
+
+from .figures import (figure1_layout, figure2_repacking, figure3_exchange,
+                      render_preemptive, render_rows)
+from .ratio import RatioObservation, RatioReport, measure_ratios
+from .reporting import experiment_header, format_table
+from .scaling import ScalingFit, ScalingPoint, fit_exponent, time_over_grid
+
+__all__ = [
+    "figure1_layout",
+    "figure2_repacking",
+    "figure3_exchange",
+    "render_rows",
+    "render_preemptive",
+    "RatioObservation",
+    "RatioReport",
+    "measure_ratios",
+    "ScalingPoint",
+    "ScalingFit",
+    "time_over_grid",
+    "fit_exponent",
+    "experiment_header",
+    "format_table",
+]

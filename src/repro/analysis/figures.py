@@ -1,0 +1,128 @@
+"""Regeneration of the paper's figures as ASCII art / structural traces.
+
+The paper contains five figures, all illustrative rather than empirical:
+
+* Figure 1 — round robin example (10 classes, 4 machines),
+* Figure 2 — the preemptive repacking shift of Algorithm 2,
+* Figure 3 — the class-pair exchange for huge machine counts,
+* Figure 4 — dissolving a configuration into modules and jobs,
+* Figure 5 — the flow network of Lemma 16.
+
+This module regenerates 1–3 from the actual algorithms (the bench files
+assert the structural properties each figure illustrates); 4 and 5 are
+exercised by their bench files via the PTAS internals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..approx.round_robin import round_robin_rows
+from ..core.instance import Instance
+from ..core.schedule import PreemptiveSchedule, SplittableSchedule
+
+__all__ = ["figure1_layout", "render_rows", "figure2_repacking",
+           "figure3_exchange", "render_preemptive"]
+
+
+def figure1_layout(num_classes: int = 10, num_machines: int = 4,
+                   sizes: list[int] | None = None
+                   ) -> tuple[list[list[int]], str]:
+    """The round robin layout of Figure 1.
+
+    The paper numbers classes 1..10 by non-ascending total processing time
+    and shows machine 1 receiving classes 1, 5, 9; machine 2: 2, 6, 10; etc.
+    Returns the per-round rows plus an ASCII rendering.
+    """
+    if sizes is None:
+        # strictly decreasing sizes so the numbering is unambiguous
+        sizes = list(range(2 * num_classes, 0, -2))[:num_classes]
+    rows = round_robin_rows(sizes, num_machines)
+    lines = []
+    header = "".join(f"  m{k+1:<4}" for k in range(num_machines))
+    lines.append(header)
+    for row in rows:
+        cells = []
+        for k in range(num_machines):
+            if k < len(row):
+                cells.append(f"  {row[k] + 1:<4} ")
+            else:
+                cells.append("       ")
+        lines.append("".join(cells))
+    return rows, "\n".join(lines)
+
+
+def render_rows(schedule: SplittableSchedule, inst: Instance,
+                width: int = 40) -> str:
+    """ASCII bars of machine loads with class annotations."""
+    makespan = schedule.makespan()
+    if makespan == 0:
+        return "(empty schedule)"
+    lines = []
+    for i in schedule.used_machines:
+        load = schedule.load(i)
+        bar = "#" * max(1, int(width * load / makespan))
+        classes = sorted(schedule.classes_on(i, inst))
+        lines.append(f"m{i:<3} |{bar:<{width}}| load={float(load):8.2f} "
+                     f"classes={classes}")
+    return "\n".join(lines)
+
+
+def render_preemptive(schedule: PreemptiveSchedule, inst: Instance) -> str:
+    """Timeline rendering: each machine lists its pieces in time order."""
+    lines = []
+    for i in schedule.used_machines:
+        segs = [f"[{float(p.start):.1f},{float(p.end):.1f})j{p.job}"
+                for p in schedule.pieces_on(i)]
+        lines.append(f"m{i}: " + " ".join(segs))
+    return "\n".join(lines)
+
+
+def figure2_repacking() -> tuple[Instance, PreemptiveSchedule, str]:
+    """An instance exhibiting Algorithm 2's repacking (Figure 2).
+
+    One heavy class is cut into pieces of size exactly ``T``; the pieces
+    above the first class of each machine are shifted to start at ``T``.
+    Returns the instance, the produced schedule and a timeline rendering.
+    """
+    from ..approx.preemptive import solve_preemptive
+    # heavy class 0 (load 40 across jobs of size 10 <= T), plus 7 smaller
+    # classes; m = 4, c = 2: class 0 must be cut, triggering the shift.
+    p = [10, 10, 10, 10] + [9, 8, 7, 6, 5, 4, 3]
+    cls = [0, 0, 0, 0] + list(range(1, 8))
+    inst = Instance(tuple(p), tuple(cls), machines=4, class_slots=2)
+    res = solve_preemptive(inst)
+    return inst, res.schedule, render_preemptive(res.schedule, inst)
+
+
+def figure3_exchange(load_u1_i1: Fraction, load_u2_i1: Fraction,
+                     load_u1_i2: Fraction, load_u2_i2: Fraction
+                     ) -> dict[str, dict[str, Fraction]]:
+    """The exchange of Figure 3 / Theorem 11.
+
+    Two machines ``i1``, ``i2`` run the same class pair ``(u1, u2)``. Move
+    *all* of ``u1`` from the machine where it is smallest (w.l.o.g. ``i1``)
+    to ``i2`` and move ``p(i1, u1)`` units of ``u2`` back. Afterwards both
+    machines keep their loads, ``u1`` vanishes from ``i1``, and no machine
+    uses more class slots than before. Returns the new per-machine loads.
+    """
+    loads = {("i1", "u1"): Fraction(load_u1_i1),
+             ("i1", "u2"): Fraction(load_u2_i1),
+             ("i2", "u1"): Fraction(load_u1_i2),
+             ("i2", "u2"): Fraction(load_u2_i2)}
+    # w.l.o.g. p(i1, u1) minimal — otherwise relabel
+    key = min(loads, key=lambda k: loads[k])
+    src_m = key[0]
+    src_u = key[1]
+    dst_m = "i2" if src_m == "i1" else "i1"
+    oth_u = "u2" if src_u == "u1" else "u1"
+    moved = loads[(src_m, src_u)]
+    new = dict(loads)
+    new[(dst_m, src_u)] += moved
+    new[(src_m, src_u)] = Fraction(0)
+    new[(dst_m, oth_u)] -= moved
+    new[(src_m, oth_u)] += moved
+    return {
+        "before": {f"{m}.{u}": loads[(m, u)] for m, u in loads},
+        "after": {f"{m}.{u}": new[(m, u)] for m, u in new},
+    }

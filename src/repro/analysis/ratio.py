@@ -1,0 +1,74 @@
+"""Empirical approximation-ratio measurement.
+
+The ratio experiments (T4, T5, T6, P1-P3 in DESIGN.md) sweep workloads,
+run an algorithm, and divide its makespan by ground truth — the exact
+optimum where instances are small enough, a certified lower bound
+otherwise (which can only over-estimate the ratio, keeping the check
+conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.instance import Instance
+
+__all__ = ["RatioObservation", "RatioReport", "measure_ratios"]
+
+
+@dataclass(frozen=True)
+class RatioObservation:
+    instance_label: str
+    makespan: float
+    baseline: float          # OPT or a certified lower bound
+
+    @property
+    def ratio(self) -> float:
+        return self.makespan / self.baseline if self.baseline else float("inf")
+
+
+@dataclass
+class RatioReport:
+    algorithm: str
+    bound: float                      # the paper's guaranteed ratio
+    observations: list[RatioObservation] = field(default_factory=list)
+    baseline_is_exact: bool = True
+
+    def add(self, obs: RatioObservation) -> None:
+        self.observations.append(obs)
+
+    @property
+    def max_ratio(self) -> float:
+        return max((o.ratio for o in self.observations), default=0.0)
+
+    @property
+    def mean_ratio(self) -> float:
+        if not self.observations:
+            return 0.0
+        return sum(o.ratio for o in self.observations) / len(self.observations)
+
+    def within_bound(self, tol: float = 1e-9) -> bool:
+        return self.max_ratio <= self.bound + tol
+
+    def summary(self) -> str:
+        kind = "OPT" if self.baseline_is_exact else "LB"
+        return (f"{self.algorithm}: n={len(self.observations)} vs {kind}  "
+                f"max={self.max_ratio:.4f}  mean={self.mean_ratio:.4f}  "
+                f"bound={self.bound:.4f}  "
+                f"{'OK' if self.within_bound() else 'VIOLATED'}")
+
+
+def measure_ratios(algorithm: str, bound: float,
+                   instances: Iterable[tuple[str, Instance]],
+                   run: Callable[[Instance], float],
+                   baseline: Callable[[Instance], float],
+                   baseline_is_exact: bool = True) -> RatioReport:
+    """Run ``run`` over labelled instances, dividing by ``baseline``."""
+    report = RatioReport(algorithm=algorithm, bound=bound,
+                         baseline_is_exact=baseline_is_exact)
+    for label, inst in instances:
+        mk = float(run(inst))
+        base = float(baseline(inst))
+        report.add(RatioObservation(label, mk, base))
+    return report

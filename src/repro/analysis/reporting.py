@@ -1,0 +1,37 @@
+"""Fixed-width table rendering for benchmark output.
+
+The bench files print paper-vs-measured tables in a uniform format so that
+EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "experiment_header"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    cols = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError("row width mismatch")
+        cells.append([f"{v:.4f}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[k]) for r in cells) for k in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for r in cells[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def experiment_header(exp_id: str, paper_artifact: str, expectation: str) -> str:
+    return (f"=== {exp_id}: {paper_artifact} ===\n"
+            f"expected shape: {expectation}")

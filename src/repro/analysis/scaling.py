@@ -1,0 +1,66 @@
+"""Running-time scaling measurement (experiments R1 / R2).
+
+The paper claims O(n^2 log n) for the splittable/preemptive constant-factor
+algorithms, O(n^2 log^2 n) for the non-preemptive one, and only
+*logarithmic* dependence on the machine count ``m`` in the splittable
+case. These helpers time an algorithm over a grid and fit the polynomial
+exponent on a log-log scale so the benches can report "measured exponent
+vs. paper exponent".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ScalingPoint", "ScalingFit", "time_over_grid", "fit_exponent"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    x: float           # problem size (n, or log m)
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    exponent: float    # slope of log(time) vs log(x)
+    intercept: float
+    points: tuple[ScalingPoint, ...]
+
+    def summary(self, claimed: float) -> str:
+        return (f"measured exponent {self.exponent:.2f} "
+                f"(paper: ~{claimed:g}, log factors blur the fit) over "
+                f"{len(self.points)} sizes")
+
+
+def time_over_grid(sizes: Sequence[int],
+                   make_input: Callable[[int], object],
+                   run: Callable[[object], object],
+                   repeats: int = 3) -> list[ScalingPoint]:
+    """Best-of-``repeats`` wall time of ``run`` for each size.
+
+    Input construction is excluded from the timing.
+    """
+    points = []
+    for size in sizes:
+        arg = make_input(size)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run(arg)
+            best = min(best, time.perf_counter() - t0)
+        points.append(ScalingPoint(float(size), best))
+    return points
+
+
+def fit_exponent(points: Sequence[ScalingPoint]) -> ScalingFit:
+    """Least-squares slope of log(seconds) against log(x)."""
+    xs = np.log([p.x for p in points])
+    ys = np.log([max(p.seconds, 1e-9) for p in points])
+    slope, intercept = np.polyfit(xs, ys, 1)
+    return ScalingFit(exponent=float(slope), intercept=float(intercept),
+                      points=tuple(points))

@@ -1,0 +1,32 @@
+"""Constant-factor approximation algorithms (Section 3 of the paper)."""
+
+from .borders import (advanced_binary_search, candidate_borders,
+                      smallest_feasible_border, split_count)
+from .compact import CompactSplittableSchedule
+from .lpt import lpt_makespan, lpt_partition
+from .nonpreemptive import NonPreemptiveResult, solve_nonpreemptive
+from .preemptive import PreemptiveResult, solve_preemptive
+from .round_robin import lemma3_bound, round_robin_assignment, round_robin_rows
+from .splittable import SplittableResult, solve_splittable
+from .splitting import SubClass, split_classes
+
+__all__ = [
+    "solve_splittable",
+    "solve_preemptive",
+    "solve_nonpreemptive",
+    "SplittableResult",
+    "PreemptiveResult",
+    "NonPreemptiveResult",
+    "CompactSplittableSchedule",
+    "split_classes",
+    "SubClass",
+    "split_count",
+    "candidate_borders",
+    "smallest_feasible_border",
+    "advanced_binary_search",
+    "round_robin_assignment",
+    "round_robin_rows",
+    "lemma3_bound",
+    "lpt_partition",
+    "lpt_makespan",
+]

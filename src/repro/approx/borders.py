@@ -1,0 +1,115 @@
+"""The advanced border binary search of Lemma 2.
+
+In the splittable algorithm the only thing a makespan guess ``T`` controls
+is how many sub-classes are produced when classes with ``P_u > T`` are cut
+into pieces of size ``T``: class ``u`` yields ``ceil(P_u / T)`` sub-classes.
+The guess is feasible iff the total sub-class count is at most ``c * m``.
+The count only changes at the *borders* ``P_u / k``, so it suffices to
+search those.
+
+For huge ``m`` we cannot enumerate ``k = 1..m`` per class; instead we use
+divisor stepping (the classic ``O(sqrt(P))`` harmonic trick): consecutive
+``k`` with identical ``floor(P/k)`` yield the same downstream behaviour for
+counting, and the *set of distinct border values* ``{P/k}`` has at most
+``2*sqrt(P)`` elements with ``k`` capped at ``min(m, P)`` — processing times
+are integral, so borders below 1 are never optimal guesses here because the
+area bound dominates them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Sequence
+
+__all__ = ["split_count", "candidate_borders", "smallest_feasible_border",
+           "advanced_binary_search"]
+
+
+def split_count(class_loads: Sequence[int], T: Fraction) -> int:
+    """Total number of (sub-)classes when every class with ``P_u > T`` is cut
+    into ``ceil(P_u / T)`` pieces. Exact rational arithmetic."""
+    if T <= 0:
+        raise ValueError("T must be positive")
+    num, den = T.numerator, T.denominator
+    total = 0
+    for P in class_loads:
+        # ceil(P / (num/den)) = ceil(P * den / num)
+        total += -((-P * den) // num)
+    return total
+
+
+def candidate_borders(class_loads: Sequence[int], m: int,
+                      cap: int = 1_000_000) -> list[Fraction]:
+    """Sorted, deduplicated border set ``{P_u / k : k in 1..min(m, P_u)}``.
+
+    Full materialisation — only for small ``m`` (tests, figures). The
+    algorithms use :func:`smallest_feasible_border`, which binary-searches
+    ``k`` per class and never materialises the set (that is what keeps the
+    splittable algorithm's dependence on ``m`` logarithmic).
+    """
+    borders: set[Fraction] = set()
+    total = 0
+    for P in class_loads:
+        if P <= 0:
+            continue
+        total += m
+        if total > cap:
+            raise ValueError(
+                f"border set would exceed {cap} values; use "
+                "smallest_feasible_border for large m")
+        for k in range(1, m + 1):
+            borders.add(Fraction(P, k))
+    return sorted(borders)
+
+
+def smallest_feasible_border(class_loads: Sequence[int], m: int,
+                             budget: int) -> Fraction | None:
+    """Smallest border ``T`` with ``split_count(T) <= budget`` (Lemma 2).
+
+    Feasibility is monotone in ``T`` (each ``ceil(P_u/T)`` is
+    non-increasing), so the feasible region is ``[T*, inf)`` and ``T*`` is
+    a border of some class. Per class we binary search the *largest*
+    ``k <= min(m, P_u)`` whose border ``P_u/k`` is still feasible — only
+    ``O(log m)`` count evaluations per class, never enumerating ``m``.
+
+    Returns ``None`` when no border is feasible, i.e. the class count
+    alone exceeds the budget (``C > c*m``): no schedule exists at all.
+    """
+    best: Fraction | None = None
+    for P in set(class_loads):
+        if P <= 0:
+            continue
+        # k ranges over 1..m (Lemma 2): beyond k = m the area bound takes
+        # over. Borders may drop below 1 — processing times are integral
+        # but split pieces are not.
+        kmax = m
+        lo, hi = 1, kmax
+        best_k = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if split_count(class_loads, Fraction(P, mid)) <= budget:
+                best_k = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        if best_k is not None:
+            cand = Fraction(P, best_k)
+            if best is None or cand < best:
+                best = cand
+    return best
+
+
+def advanced_binary_search(class_loads: Sequence[int], m: int, budget: int,
+                           lower_bound: Fraction) -> Fraction | None:
+    """Lemma 2's search: the guess used by Algorithm 1.
+
+    Returns ``max(lower_bound, smallest feasible border)``. Both terms lower
+    bound the optimum: the area/pmax term by definition, the border term
+    because any schedule with makespan below it would need more than
+    ``c * m`` class slots. ``None`` signals an infeasible instance
+    (``C > c * m``).
+    """
+    border = smallest_feasible_border(class_loads, m, budget)
+    if border is None:
+        return None
+    return max(Fraction(lower_bound), border)

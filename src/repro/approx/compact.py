@@ -1,0 +1,258 @@
+"""Compact (output-polynomial) splittable schedules for huge machine counts.
+
+When ``m`` is exponential in ``n`` the round robin layout of Algorithm 1 may
+contain up to ``m`` sub-classes of load exactly ``T`` — far too many to
+enumerate. The paper (Theorem 4, huge-``m`` case) observes that all but at
+most ``C`` sub-classes have load exactly ``T``, so it suffices to store the
+remainder sub-classes explicitly and the full ones by *count*.
+
+:class:`CompactSplittableSchedule` stores exactly that and defines the round
+robin layout *functionally*: machine ``i``'s contents are computable in
+``O(c + log n)`` from the stored counts, so any machine can be materialised
+on demand while the whole object stays ``O(n)`` in size.
+
+Layout (machines indexed ``0..m-1``; items sorted non-ascending: the ``K``
+full pieces first, then the ``S`` remainder sub-classes by load):
+
+* row 1: item ``i`` on machine ``i`` (``i < min(m, K+S)``),
+* row 2: item ``m+i`` on machine ``i`` (``m+i < K+S``).
+
+Because ``K <= m`` (each full piece has area ``T`` and the area bound gives
+``K*T <= sum p_j <= m*T``) and ``S <= C <= n < m`` whenever this mode
+triggers, at most two rows exist, matching the paper's "machines filled with
+two classes of size T" bookkeeping.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.errors import InfeasibleScheduleError, InvalidInstanceError
+from ..core.instance import Instance
+from ..core.schedule import Piece, SplittableSchedule
+
+__all__ = ["CompactSplittableSchedule"]
+
+
+@dataclass(frozen=True)
+class _ClassSlicing:
+    """Slicing data for one class: jobs in concatenation order with integer
+    prefix offsets, ``full_count`` pieces of size ``T`` and a remainder."""
+
+    jobs: tuple[int, ...]
+    offsets: tuple[int, ...]          # offsets[k] = start of jobs[k]; + total
+    full_count: int
+    remainder: Fraction               # load of the remainder sub-class (may be 0)
+
+
+class CompactSplittableSchedule:
+    """Functional representation of Algorithm 1's round robin layout."""
+
+    def __init__(self, inst: Instance, T: Fraction,
+                 slicings: list[_ClassSlicing]) -> None:
+        self._inst = inst
+        self.T = Fraction(T)
+        self.num_machines = inst.machines
+        self._slicings = slicings
+        # class -> first global full-piece id
+        self._full_offsets: list[int] = []
+        acc = 0
+        for s in slicings:
+            self._full_offsets.append(acc)
+            acc += s.full_count
+        self.full_pieces = acc
+        # remainder sub-classes sorted by (load desc, class asc)
+        rem = [(s.remainder, u) for u, s in enumerate(slicings)
+               if s.remainder > 0]
+        rem.sort(key=lambda t: (-t[0], t[1]))
+        self._small_loads = [r for r, _ in rem]
+        self._small_classes = [u for _, u in rem]
+        self.small_pieces = len(rem)
+        self.total_items = self.full_pieces + self.small_pieces
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def build(inst: Instance, T: Fraction) -> "CompactSplittableSchedule":
+        T = Fraction(T)
+        slicings: list[_ClassSlicing] = []
+        for u in range(inst.num_classes):
+            jobs = tuple(inst.jobs_of_class(u))
+            offsets = [0]
+            for j in jobs:
+                offsets.append(offsets[-1] + inst.processing_times[j])
+            P = offsets[-1]
+            full = int(Fraction(P) / T)  # floor(P / T)
+            rem = Fraction(P) - full * T
+            slicings.append(_ClassSlicing(jobs, tuple(offsets), full, rem))
+        sched = CompactSplittableSchedule(inst, T, slicings)
+        if sched.full_pieces > inst.machines:
+            raise InvalidInstanceError(
+                "internal: more full pieces than machines — T below the area "
+                "bound")
+        return sched
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+
+    def _item_load(self, item: int) -> Fraction:
+        if item < self.full_pieces:
+            return self.T
+        return self._small_loads[item - self.full_pieces]
+
+    def items_on(self, machine: int) -> list[int]:
+        """Global item ids (fulls then smalls) landing on ``machine``."""
+        if machine < 0 or machine >= self.num_machines:
+            raise InvalidInstanceError(
+                f"machine index {machine} outside 0..{self.num_machines - 1}")
+        out = []
+        if machine < min(self.num_machines, self.total_items):
+            out.append(machine)
+        second = self.num_machines + machine
+        if second < self.total_items:
+            out.append(second)
+        return out
+
+    def load(self, machine: int) -> Fraction:
+        return sum((self._item_load(it) for it in self.items_on(machine)),
+                   Fraction(0))
+
+    def makespan(self) -> Fraction:
+        """Exact maximum load; O(1) via segment breakpoints.
+
+        Item loads are non-increasing in the item id, so within each
+        structural segment of the layout the machine load is non-increasing
+        in the machine id; evaluating the segment left endpoints suffices.
+        """
+        if self.total_items == 0:
+            return Fraction(0)
+        candidates = {0, self.full_pieces,
+                      max(0, self.total_items - self.num_machines),
+                      min(self.num_machines, self.total_items) - 1}
+        best = Fraction(0)
+        for i in candidates:
+            if 0 <= i < self.num_machines:
+                load = self.load(i)
+                if load > best:
+                    best = load
+        return best
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+
+    def _full_piece_class(self, item: int) -> tuple[int, int]:
+        """Map a full-piece id to ``(class, index within class)``."""
+        u = bisect_right(self._full_offsets, item) - 1
+        return u, item - self._full_offsets[u]
+
+    def pieces_of_item(self, item: int) -> list[Piece]:
+        """Materialise one sub-class into job pieces (concatenation order)."""
+        if item < self.full_pieces:
+            u, idx = self._full_piece_class(item)
+            lo, hi = idx * self.T, (idx + 1) * self.T
+        else:
+            u = self._small_classes[item - self.full_pieces]
+            s = self._slicings[u]
+            lo = s.full_count * self.T
+            hi = Fraction(s.offsets[-1])
+        s = self._slicings[u]
+        out: list[Piece] = []
+        # jobs overlapping [lo, hi): offsets are sorted ints, lo/hi rationals
+        k = bisect_right(s.offsets, lo) - 1
+        if k < 0:
+            k = 0
+        while k < len(s.jobs) and Fraction(s.offsets[k]) < hi:
+            j = s.jobs[k]
+            a = max(lo, Fraction(s.offsets[k]))
+            b = min(hi, Fraction(s.offsets[k + 1]))
+            if b > a:
+                out.append(Piece(j, b - a))
+            k += 1
+        return out
+
+    def pieces_on(self, machine: int) -> list[Piece]:
+        out: list[Piece] = []
+        for item in self.items_on(machine):
+            out.extend(self.pieces_of_item(item))
+        return out
+
+    def classes_on(self, machine: int) -> set[int]:
+        out = set()
+        for item in self.items_on(machine):
+            if item < self.full_pieces:
+                out.add(self._full_piece_class(item)[0])
+            else:
+                out.add(self._small_classes[item - self.full_pieces])
+        return out
+
+    def to_explicit(self, item_limit: int = 1_000_000) -> SplittableSchedule:
+        """Materialise the whole layout (raises when too large)."""
+        if self.total_items > item_limit:
+            raise InvalidInstanceError(
+                f"compact schedule has {self.total_items} sub-classes; "
+                f"refusing to materialise more than {item_limit}")
+        sched = SplittableSchedule(self.num_machines)
+        for i in range(min(self.num_machines, self.total_items)):
+            for piece in self.pieces_on(i):
+                sched.assign(i, piece.job, piece.amount)
+        return sched
+
+    # ------------------------------------------------------------------ #
+    # validation (symbolic — called via core.validation.validate)
+    # ------------------------------------------------------------------ #
+
+    def validate_against(self, inst: Instance) -> Fraction:
+        """Symbolically validate feasibility; returns the makespan.
+
+        Checks: slicing accounts for every unit of every class; the item
+        count fits in ``c*m`` class slots; machines hold at most two items
+        (and two only when ``c >= 2``); sampled materialised machines agree
+        with the stored loads.
+        """
+        inst = inst.normalized()
+        if inst.machines != self.num_machines:
+            raise InfeasibleScheduleError(
+                f"schedule has {self.num_machines} machines, instance has "
+                f"{inst.machines}")
+        for u, s in enumerate(self._slicings):
+            P = Fraction(s.offsets[-1])
+            if s.full_count * self.T + s.remainder != P:
+                raise InfeasibleScheduleError(
+                    f"class {u}: slicing covers {s.full_count * self.T + s.remainder} "
+                    f"of load {P}")
+            if not (0 <= s.remainder < self.T) and not (s.remainder == 0):
+                raise InfeasibleScheduleError(
+                    f"class {u}: remainder {s.remainder} not in [0, T)")
+        if self.total_items > inst.class_slots * inst.machines:
+            raise InfeasibleScheduleError(
+                f"{self.total_items} sub-classes exceed c*m = "
+                f"{inst.class_slots * inst.machines} class slots")
+        if self.total_items > 2 * self.num_machines:
+            raise InfeasibleScheduleError(
+                "layout would need more than two rows")
+        if self.total_items > self.num_machines and inst.class_slots < 2:
+            raise InfeasibleScheduleError(
+                "two items per machine but only one class slot")
+        # spot-check a few machines end to end
+        probe = {0, self.full_pieces,
+                 max(0, self.total_items - self.num_machines),
+                 min(self.num_machines, self.total_items) - 1}
+        for i in probe:
+            if not (0 <= i < self.num_machines):
+                continue
+            pieces = self.pieces_on(i)
+            total = sum((p.amount for p in pieces), Fraction(0))
+            if total != self.load(i):
+                raise InfeasibleScheduleError(
+                    f"materialised load {total} != stored load {self.load(i)}",
+                    machine=i)
+            if len(self.classes_on(i)) > inst.class_slots:
+                raise InfeasibleScheduleError(
+                    "class slots exceeded", machine=i)
+        return self.makespan()

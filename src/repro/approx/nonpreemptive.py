@@ -1,0 +1,110 @@
+"""The 7/3-approximation for non-preemptive CCS (Theorem 6).
+
+Framework of Algorithm 1 with three changes: the lower bound includes
+``pmax``; the number of sub-groups per class is the sharper
+``C_u = max(ceil(P_u/T), k_u + ceil(l_u/2))`` accounting for jobs larger
+than ``T/2`` and ``T/3`` (they cannot share machines freely); and classes
+are split into whole-job groups via LPT instead of being cut. A standard
+integral binary search replaces the border search (the optimum is integral
+but the border structure no longer captures ``C_u``).
+
+Guarantee: makespan at most ``LB + (4/3) T <= (7/3) T <= (7/3) OPT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..core.bounds import (area_bound, nonpreemptive_class_count,
+                           trivial_upper_bound)
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+from ..core.schedule import NonPreemptiveSchedule
+from .lpt import lpt_partition
+from .round_robin import round_robin_assignment
+
+__all__ = ["NonPreemptiveResult", "solve_nonpreemptive"]
+
+
+@dataclass(frozen=True)
+class NonPreemptiveResult:
+    """Outcome of the 7/3-approximation (Theorem 6)."""
+
+    schedule: NonPreemptiveSchedule
+    guess: int
+    lower_bound: int
+    makespan: int
+
+    @property
+    def ratio_certificate(self) -> float:
+        return self.makespan / self.guess if self.guess > 0 else 0.0
+
+
+def solve_nonpreemptive(inst: Instance) -> NonPreemptiveResult:
+    """Run the 7/3-approximation on ``inst``."""
+    inst = inst.normalized()
+    m, c = inst.machines, inst.class_slots
+    budget = c * m
+    if inst.num_classes > budget:
+        raise InvalidInstanceError(
+            f"infeasible: C={inst.num_classes} classes exceed c*m={budget} "
+            "class slots")
+
+    per_class = [[inst.processing_times[j] for j in inst.jobs_of_class(u)]
+                 for u in range(inst.num_classes)]
+
+    def group_counts(T: int) -> list[int] | None:
+        counts = []
+        total = 0
+        for pjs in per_class:
+            cu = nonpreemptive_class_count(pjs, T)
+            counts.append(cu)
+            total += cu
+            if total > budget:
+                return None
+        return counts
+
+    lb = max(inst.pmax, ceil(area_bound(inst)))
+    hi = int(trivial_upper_bound(inst))
+    lo = lb
+    # Standard binary search for the smallest feasible integral guess. The
+    # upper bound is always feasible: the optimum is <= UB and the counting
+    # argument is a valid lower bound on slots used by *any* schedule of
+    # makespan T, hence counts(UB) <= counts(OPT) <= c*m.
+    if group_counts(hi) is None:  # pragma: no cover - defensive
+        raise InvalidInstanceError("no feasible guess up to the upper bound")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if group_counts(mid) is not None:
+            hi = mid
+        else:
+            lo = mid + 1
+    T = hi
+    counts = group_counts(T)
+    assert counts is not None
+
+    # Split each class into C_u groups of whole jobs via LPT, then round
+    # robin the groups by non-ascending load.
+    groups: list[list[int]] = []   # lists of job indices
+    group_loads: list[int] = []
+    for u, pjs in enumerate(per_class):
+        jobs = inst.jobs_of_class(u)
+        parts = lpt_partition(pjs, counts[u])
+        for part in parts:
+            if not part and counts[u] > 1:
+                # LPT may leave a group empty when a class has fewer jobs
+                # than groups; empty groups carry no jobs and no load but
+                # still exist conceptually — skip them in the allotment.
+                continue
+            groups.append([jobs[i] for i in part])
+            group_loads.append(sum(pjs[i] for i in part))
+
+    rows = round_robin_assignment(group_loads, m)
+    sched = NonPreemptiveSchedule(inst.num_jobs, m)
+    for machine_pos, items in enumerate(rows):
+        for item in items:
+            for j in groups[item]:
+                sched.assign(j, machine_pos)
+    return NonPreemptiveResult(schedule=sched, guess=T, lower_bound=lb,
+                               makespan=sched.makespan(inst))

@@ -1,0 +1,70 @@
+"""Cutting classes into sub-classes of load at most ``T`` (Algorithm 1).
+
+Given a makespan guess ``T``, every class with accumulated load ``P_u > T``
+is cut into ``ceil(P_u / T)`` sub-classes: conceptually the jobs of the
+class are concatenated (in job-index order) and sliced at multiples of
+``T``. All but the last sub-class have load exactly ``T``; a job lying
+across a slice boundary is cut there.
+
+The concatenation order matters for the preemptive regime: the tail of a
+cut job is the *last* piece of its sub-class and the head is the *first*
+piece of the next one, which is exactly what makes the repacking of
+Algorithm 2 collision-free (see :mod:`repro.approx.preemptive`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..core.instance import Instance
+
+__all__ = ["SubClass", "split_classes"]
+
+
+@dataclass(frozen=True)
+class SubClass:
+    """A sub-class produced by cutting: a run of (job, amount) pieces.
+
+    ``pieces`` preserves concatenation order. ``is_full`` marks sub-classes
+    of load exactly ``T`` (the paper's ``P_u' = T`` classes).
+    """
+
+    original_class: int
+    pieces: tuple[tuple[int, Fraction], ...]
+    load: Fraction
+    is_full: bool
+
+    def jobs(self) -> list[int]:
+        return [j for j, _ in self.pieces]
+
+
+def split_classes(inst: Instance, T: Fraction) -> list[SubClass]:
+    """Cut every class of ``inst`` at multiples of ``T``.
+
+    Returns all sub-classes (classes with ``P_u <= T`` yield themselves,
+    uncut). Total count equals ``split_count(class_loads, T)``.
+    """
+    T = Fraction(T)
+    if T <= 0:
+        raise ValueError("T must be positive")
+    subs: list[SubClass] = []
+    for u in range(inst.num_classes):
+        jobs = inst.jobs_of_class(u)
+        current: list[tuple[int, Fraction]] = []
+        current_load = Fraction(0)
+        for j in jobs:
+            remaining = Fraction(inst.processing_times[j])
+            while remaining > 0:
+                room = T - current_load
+                take = min(room, remaining)
+                current.append((j, take))
+                current_load += take
+                remaining -= take
+                if current_load == T:
+                    subs.append(SubClass(u, tuple(current), T, True))
+                    current = []
+                    current_load = Fraction(0)
+        if current:
+            subs.append(SubClass(u, tuple(current), current_load, False))
+    return subs

@@ -1,0 +1,14 @@
+"""Folklore baselines the paper's algorithms are compared against."""
+
+from .bin_packing import ffd_binary_search_schedule, ffd_pack
+from .list_scheduling import greedy_list_schedule, lpt_class_schedule
+from .mcnaughton import mcnaughton_makespan, mcnaughton_schedule
+
+__all__ = [
+    "greedy_list_schedule",
+    "lpt_class_schedule",
+    "ffd_pack",
+    "ffd_binary_search_schedule",
+    "mcnaughton_schedule",
+    "mcnaughton_makespan",
+]

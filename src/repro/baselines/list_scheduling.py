@@ -1,0 +1,64 @@
+"""Class-aware greedy baselines.
+
+These are the natural heuristics a practitioner would reach for before the
+paper's algorithms existed; the benchmark suite compares them against the
+paper's algorithms (experiment B1 in DESIGN.md). Both respect the class
+constraint, so the comparison is guarantee vs. no-guarantee, not feasible
+vs. infeasible.
+
+* :func:`greedy_list_schedule` — jobs in arrival order onto the least
+  loaded machine that can legally take the job's class (opening a class
+  slot if needed). No guarantee: a bad class-slot commitment early on can
+  force terrible placements later.
+* :func:`lpt_class_schedule` — same, but jobs sorted by LPT. Still no
+  guarantee under scarce class slots.
+
+Both can *fail* (dead-end: no machine can take the class), in which case
+they fall back to forcing the job onto the least loaded machine already
+running its class — if none exists the instance dead-ends and we raise.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InfeasibleScheduleError
+from ..core.instance import Instance
+from ..core.schedule import NonPreemptiveSchedule
+
+__all__ = ["greedy_list_schedule", "lpt_class_schedule"]
+
+
+def _place(inst: Instance, order: list[int]) -> NonPreemptiveSchedule:
+    m = min(inst.machines, inst.num_jobs)
+    c = inst.class_slots
+    loads = [0] * m
+    classes: list[set[int]] = [set() for _ in range(m)]
+    sched = NonPreemptiveSchedule(inst.num_jobs, inst.machines)
+    for j in order:
+        u = inst.classes[j]
+        # candidate machines: already hosting u, or with a free class slot
+        best = None
+        for i in range(m):
+            if u in classes[i] or len(classes[i]) < c:
+                if best is None or loads[i] < loads[best]:
+                    best = i
+        if best is None:
+            raise InfeasibleScheduleError(
+                "greedy dead-end: no machine can host the class", job=j)
+        loads[best] += inst.processing_times[j]
+        classes[best].add(u)
+        sched.assign(j, best)
+    return sched
+
+
+def greedy_list_schedule(inst: Instance) -> NonPreemptiveSchedule:
+    """Least-loaded feasible machine, jobs in input order."""
+    inst = inst.normalized()
+    return _place(inst, list(range(inst.num_jobs)))
+
+
+def lpt_class_schedule(inst: Instance) -> NonPreemptiveSchedule:
+    """Least-loaded feasible machine, jobs in LPT order."""
+    inst = inst.normalized()
+    order = sorted(range(inst.num_jobs),
+                   key=lambda j: (-inst.processing_times[j], j))
+    return _place(inst, order)

@@ -1,0 +1,61 @@
+"""McNaughton's wrap-around rule — the class-oblivious preemptive optimum.
+
+For preemptive scheduling *without* class constraints, McNaughton (1959)
+achieves the optimal makespan ``max(pmax, sum p_j / m)`` by laying jobs out
+on a single timeline and wrapping at ``T``. We implement it (a) as the
+classical baseline the preemptive experiments compare against on
+unconstrained instances, and (b) as a certificate: when ``c >= C`` the
+paper's problem degenerates and our algorithms must match it.
+
+The wrap produces at most ``m - 1`` preempted jobs, and wrapped pieces
+never overlap themselves because every job has ``p_j <= T``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+from ..core.schedule import PreemptiveSchedule
+
+__all__ = ["mcnaughton_schedule", "mcnaughton_makespan"]
+
+
+def mcnaughton_makespan(inst: Instance) -> Fraction:
+    """``max(pmax, area)`` — optimal when class constraints do not bind."""
+    return max(Fraction(inst.pmax), Fraction(inst.total_load, inst.machines))
+
+
+def mcnaughton_schedule(inst: Instance,
+                        enforce_classes: bool = True) -> PreemptiveSchedule:
+    """The wrap-around schedule at ``T = max(pmax, area)``.
+
+    With ``enforce_classes=True`` (default) the instance must be trivially
+    unconstrained (``c >= C``) — otherwise McNaughton may violate the class
+    slots and we refuse rather than emit an infeasible schedule. Pass
+    ``False`` to build the class-oblivious schedule anyway (used by the
+    experiments to quantify what the class constraints cost).
+    """
+    inst_n = inst.normalized()
+    if enforce_classes and not inst_n.is_trivially_unconstrained():
+        raise InvalidInstanceError(
+            "McNaughton ignores class constraints; this instance has "
+            f"C={inst_n.num_classes} > c={inst_n.class_slots}")
+    T = mcnaughton_makespan(inst_n)
+    sched = PreemptiveSchedule(inst.machines)
+    machine = 0
+    clock = Fraction(0)
+    for j, p in enumerate(inst_n.processing_times):
+        remaining = Fraction(p)
+        while remaining > 0:
+            room = T - clock
+            if room == 0:
+                machine += 1
+                clock = Fraction(0)
+                room = T
+            take = min(remaining, room)
+            sched.assign(machine, j, clock, take)
+            clock += take
+            remaining -= take
+    return sched

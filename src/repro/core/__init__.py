@@ -1,0 +1,42 @@
+"""Core data model: instances, schedules, validation, and makespan bounds."""
+
+from .bounds import (area_bound, class_slot_bound, nonpreemptive_lower_bound,
+                     nonpreemptive_slot_bound, pmax_bound,
+                     preemptive_lower_bound, splittable_lower_bound,
+                     trivial_upper_bound)
+from .errors import (CapacityExceededError, CCSError, InfeasibleGuessError,
+                     InfeasibleScheduleError, InvalidInstanceError,
+                     SolverError)
+from .instance import Instance, encoding_length
+from .schedule import (NonPreemptiveSchedule, Piece, PreemptiveSchedule,
+                       SplittableSchedule, TimedPiece)
+from .validation import (validate, validate_nonpreemptive,
+                         validate_preemptive, validate_splittable)
+
+__all__ = [
+    "Instance",
+    "encoding_length",
+    "Piece",
+    "TimedPiece",
+    "SplittableSchedule",
+    "PreemptiveSchedule",
+    "NonPreemptiveSchedule",
+    "validate",
+    "validate_splittable",
+    "validate_preemptive",
+    "validate_nonpreemptive",
+    "area_bound",
+    "pmax_bound",
+    "class_slot_bound",
+    "nonpreemptive_slot_bound",
+    "splittable_lower_bound",
+    "preemptive_lower_bound",
+    "nonpreemptive_lower_bound",
+    "trivial_upper_bound",
+    "CCSError",
+    "InvalidInstanceError",
+    "InfeasibleScheduleError",
+    "InfeasibleGuessError",
+    "SolverError",
+    "CapacityExceededError",
+]

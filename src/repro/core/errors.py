@@ -1,0 +1,69 @@
+"""Exception hierarchy for the CCS library.
+
+All library-specific failures derive from :class:`CCSError` so callers can
+catch one base class. Validation failures carry a human-readable reason and,
+where available, the offending machine/job so that tests and debugging
+sessions can pinpoint the violated constraint.
+"""
+
+from __future__ import annotations
+
+
+class CCSError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(CCSError, ValueError):
+    """The instance violates a structural requirement (e.g. p_j <= 0)."""
+
+
+class InfeasibleScheduleError(CCSError):
+    """A schedule failed feasibility validation.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable description of the violated constraint.
+    machine:
+        Index of the offending machine, if the violation is machine-local.
+    job:
+        Index of the offending job, if the violation is job-local.
+    """
+
+    def __init__(self, reason: str, *, machine: int | None = None,
+                 job: int | None = None) -> None:
+        self.reason = reason
+        self.machine = machine
+        self.job = job
+        detail = reason
+        if machine is not None:
+            detail += f" (machine {machine})"
+        if job is not None:
+            detail += f" (job {job})"
+        super().__init__(detail)
+
+
+class InfeasibleGuessError(CCSError):
+    """A makespan guess T admits no feasible schedule (used internally)."""
+
+
+class SolverError(CCSError):
+    """An ILP/LP backend failed unexpectedly (status other than optimal or
+    proven infeasible)."""
+
+
+class CapacityExceededError(CCSError):
+    """An enumeration (modules/configurations) exceeded a safety cap.
+
+    The PTAS enumerations are exponential in 1/delta; rather than silently
+    grinding forever we raise with the cap that was hit, so callers can
+    choose a coarser accuracy.
+    """
+
+    def __init__(self, what: str, count: int, cap: int) -> None:
+        self.what = what
+        self.count = count
+        self.cap = cap
+        super().__init__(
+            f"enumeration of {what} exceeded cap: {count} > {cap}; "
+            f"use a coarser epsilon or raise the cap explicitly")

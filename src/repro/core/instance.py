@@ -1,0 +1,225 @@
+"""Instance model for Class Constrained Scheduling (CCS).
+
+An instance is ``I = [p_1..p_n, c_1..c_n, m, c]``: ``n`` jobs with integral
+processing times ``p_j >= 1`` and classes ``c_j`` (arbitrary hashable labels,
+canonicalised to ``0..C-1`` internally), ``m`` identical machines, and ``c``
+class slots per machine (each machine may run jobs of at most ``c`` distinct
+classes).
+
+The paper assumes ``c <= C <= n`` w.l.o.g. (Section 1): if ``c > C`` or
+``c > n`` every machine can hold all classes and the problem degenerates to
+classical makespan scheduling. We do *not* reject such instances — they are
+legal inputs — but :meth:`Instance.normalized` applies the paper's reductions
+(clamp ``c``, drop empty classes) and every algorithm calls it first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import InvalidInstanceError
+
+__all__ = ["Instance", "class_loads", "encoding_length"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable CCS instance.
+
+    Parameters
+    ----------
+    processing_times:
+        Tuple of ``n`` positive integers, ``p_j`` for job ``j``.
+    classes:
+        Tuple of ``n`` class indices in ``0..C-1``; ``classes[j]`` is the
+        class of job ``j``.
+    machines:
+        Number ``m >= 1`` of identical machines. May be astronomically large
+        (the paper explicitly supports ``m`` exponential in ``n``).
+    class_slots:
+        Number ``c >= 1`` of class slots per machine.
+
+    Use :meth:`Instance.create` to build from arbitrary class labels and
+    unvalidated sequences.
+    """
+
+    processing_times: tuple[int, ...]
+    classes: tuple[int, ...]
+    machines: int
+    class_slots: int
+    class_labels: tuple[Hashable, ...] = field(default=(), compare=False)
+
+    # ------------------------------------------------------------------ #
+    # construction & validation
+    # ------------------------------------------------------------------ #
+
+    def __post_init__(self) -> None:
+        n = len(self.processing_times)
+        if n == 0:
+            raise InvalidInstanceError("instance must contain at least one job")
+        if len(self.classes) != n:
+            raise InvalidInstanceError(
+                f"classes has length {len(self.classes)} but there are {n} jobs")
+        for j, p in enumerate(self.processing_times):
+            if not isinstance(p, (int, np.integer)) or isinstance(p, bool):
+                raise InvalidInstanceError(
+                    f"processing time of job {j} is not an integer: {p!r}")
+            if p <= 0:
+                raise InvalidInstanceError(
+                    f"processing time of job {j} must be >= 1, got {p}")
+        if self.machines < 1:
+            raise InvalidInstanceError(f"machines must be >= 1, got {self.machines}")
+        if self.class_slots < 1:
+            raise InvalidInstanceError(
+                f"class_slots must be >= 1, got {self.class_slots}")
+        cmax = self.num_classes
+        for j, u in enumerate(self.classes):
+            if not isinstance(u, (int, np.integer)) or isinstance(u, bool):
+                raise InvalidInstanceError(
+                    f"class of job {j} is not an integer index: {u!r}")
+            if u < 0 or u >= cmax:
+                raise InvalidInstanceError(
+                    f"class of job {j} is {u}, outside 0..{cmax - 1}; classes "
+                    "must be contiguous indices (use Instance.create)")
+        if set(self.classes) != set(range(cmax)):
+            missing = sorted(set(range(cmax)) - set(self.classes))
+            raise InvalidInstanceError(
+                f"classes must be contiguous 0..C-1 with no empty class; "
+                f"missing {missing} (use Instance.create)")
+        if self.class_labels and len(self.class_labels) != cmax:
+            raise InvalidInstanceError(
+                f"class_labels has length {len(self.class_labels)} but there "
+                f"are {cmax} classes")
+
+    @staticmethod
+    def create(processing_times: Sequence[int],
+               classes: Sequence[Hashable],
+               machines: int,
+               class_slots: int) -> "Instance":
+        """Build an instance from arbitrary hashable class labels.
+
+        Labels are canonicalised to contiguous indices ``0..C-1`` in order of
+        first appearance; the original labels are retained in
+        ``class_labels`` for reporting.
+        """
+        label_to_idx: dict[Hashable, int] = {}
+        idx_classes = []
+        for lbl in classes:
+            if lbl not in label_to_idx:
+                label_to_idx[lbl] = len(label_to_idx)
+            idx_classes.append(label_to_idx[lbl])
+        return Instance(
+            processing_times=tuple(int(p) for p in processing_times),
+            classes=tuple(idx_classes),
+            machines=int(machines),
+            class_slots=int(class_slots),
+            class_labels=tuple(label_to_idx.keys()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_jobs(self) -> int:
+        """``n``, the number of jobs."""
+        return len(self.processing_times)
+
+    @property
+    def num_classes(self) -> int:
+        """``C``, the number of distinct classes (max index + 1)."""
+        return max(self.classes) + 1 if self.classes else 0
+
+    @property
+    def total_load(self) -> int:
+        """Sum of all processing times."""
+        return sum(self.processing_times)
+
+    @property
+    def pmax(self) -> int:
+        """Largest processing time."""
+        return max(self.processing_times)
+
+    def jobs_of_class(self, u: int) -> list[int]:
+        """Indices of the jobs belonging to class ``u``."""
+        return [j for j, cu in enumerate(self.classes) if cu == u]
+
+    def class_load(self, u: int) -> int:
+        """``P_u``: accumulated processing time of class ``u``."""
+        return sum(p for p, cu in zip(self.processing_times, self.classes)
+                   if cu == u)
+
+    def class_loads(self) -> list[int]:
+        """``[P_0, ..., P_{C-1}]`` in one pass."""
+        loads = [0] * self.num_classes
+        for p, u in zip(self.processing_times, self.classes):
+            loads[u] += p
+        return loads
+
+    # ------------------------------------------------------------------ #
+    # normalisation (paper Section 1 w.l.o.g. reductions)
+    # ------------------------------------------------------------------ #
+
+    def normalized(self) -> "Instance":
+        """Apply the paper's w.l.o.g. reductions.
+
+        * drop classes without jobs (re-index contiguously) — already
+          guaranteed by the constructor, so this only clamps ``c``:
+        * clamp ``c`` to ``min(c, C, n)``; any larger value is equivalent.
+        """
+        c = min(self.class_slots, self.num_classes, self.num_jobs)
+        if c == self.class_slots:
+            return self
+        return Instance(self.processing_times, self.classes, self.machines, c,
+                        self.class_labels)
+
+    def is_trivially_unconstrained(self) -> bool:
+        """True when class constraints never bind (``c >= C``): the problem
+        degenerates to classical identical-machine scheduling."""
+        return self.class_slots >= self.num_classes
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def with_machines(self, m: int) -> "Instance":
+        """Copy of this instance with a different machine count."""
+        return Instance(self.processing_times, self.classes, m,
+                        self.class_slots, self.class_labels)
+
+    def perfectly_balanced_makespan(self) -> Fraction:
+        """Area lower bound ``sum p_j / m`` as an exact rational."""
+        return Fraction(self.total_load, self.machines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Instance(n={self.num_jobs}, C={self.num_classes}, "
+                f"m={self.machines}, c={self.class_slots}, "
+                f"total_load={self.total_load})")
+
+
+def class_loads(processing_times: Iterable[int],
+                classes: Iterable[int]) -> dict[int, int]:
+    """Accumulated processing time per class for raw sequences."""
+    out: dict[int, int] = {}
+    for p, u in zip(processing_times, classes):
+        out[u] = out.get(u, 0) + p
+    return out
+
+
+def encoding_length(inst: Instance) -> int:
+    """The paper's encoding length ``|I|`` (Section 1).
+
+    ``|I| = O(sum ceil(log p_j) + sum ceil(log c_j) + n + ceil(log m))``.
+    Used by the scaling benches to express measured times against the input
+    size rather than just ``n``.
+    """
+    total = inst.num_jobs + max(1, inst.machines.bit_length())
+    for p in inst.processing_times:
+        total += max(1, int(p).bit_length())
+    for u in inst.classes:
+        total += max(1, int(u + 1).bit_length())
+    return total

@@ -1,0 +1,12 @@
+"""Exact optimum solvers for small instances (ground truth for ratios)."""
+
+from .brute_force import opt_nonpreemptive_bruteforce, splittable_lp_for_slots
+from .milp import opt_nonpreemptive, opt_preemptive, opt_splittable
+
+__all__ = [
+    "opt_nonpreemptive",
+    "opt_splittable",
+    "opt_preemptive",
+    "opt_nonpreemptive_bruteforce",
+    "splittable_lp_for_slots",
+]

@@ -1,0 +1,125 @@
+"""Brute-force exact solvers for micro instances.
+
+Branch-and-bound over job assignments; independent of the MILP backend so
+the two exact paths can cross-validate each other in tests. Only intended
+for instances with roughly ``n <= 10`` jobs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+from ..core.schedule import NonPreemptiveSchedule
+
+__all__ = ["opt_nonpreemptive_bruteforce", "splittable_lp_for_slots"]
+
+
+def opt_nonpreemptive_bruteforce(inst: Instance,
+                                 return_schedule: bool = False
+                                 ) -> int | tuple[int, NonPreemptiveSchedule]:
+    """Exact non-preemptive optimum by DFS with pruning.
+
+    Prunes on (a) partial makespan >= incumbent, (b) class-slot violations,
+    (c) machine symmetry (a job may open at most the first empty machine).
+    """
+    inst = inst.normalized()
+    n = inst.num_jobs
+    m = min(inst.machines, n)
+    c = inst.class_slots
+    if inst.num_classes > c * m:
+        raise InvalidInstanceError("infeasible: C > c*m")
+    p = inst.processing_times
+    order = sorted(range(n), key=lambda j: -p[j])
+
+    loads = [0] * m
+    classes: list[set[int]] = [set() for _ in range(m)]
+    best = sum(p) + 1
+    best_assignment: list[int] | None = None
+    assignment = [-1] * n
+
+    def dfs(k: int, current_max: int) -> None:
+        nonlocal best, best_assignment
+        if current_max >= best:
+            return
+        if k == n:
+            best = current_max
+            best_assignment = assignment.copy()
+            return
+        j = order[k]
+        u = inst.classes[j]
+        seen_empty = False
+        for i in range(m):
+            if not loads[i]:
+                if seen_empty:
+                    continue  # symmetry: all empty machines equivalent
+                seen_empty = True
+            if u not in classes[i] and len(classes[i]) >= c:
+                continue
+            added = u not in classes[i]
+            loads[i] += p[j]
+            if added:
+                classes[i].add(u)
+            assignment[j] = i
+            dfs(k + 1, max(current_max, loads[i]))
+            assignment[j] = -1
+            loads[i] -= p[j]
+            if added:
+                classes[i].discard(u)
+        return
+
+    dfs(0, 0)
+    if best_assignment is None:
+        raise InvalidInstanceError("no feasible assignment found")
+    if not return_schedule:
+        return best
+    sched = NonPreemptiveSchedule(n, inst.machines)
+    for j, i in enumerate(best_assignment):
+        sched.assign(j, i)
+    return best, sched
+
+
+def splittable_lp_for_slots(class_loads: list[int],
+                            slots: list[set[int]]) -> Fraction | None:
+    """Given a fixed class->machine slot structure, the optimal splittable
+    makespan is the solution of a tiny fluid balancing problem; we compute
+    it exactly by binary search on the borders of the water-filling LP.
+
+    ``slots[i]`` is the set of classes machine ``i`` may run. Returns the
+    optimal makespan or ``None`` if some class has no slot. Used by tests
+    to cross-check the splittable MILP on micro instances (the caller
+    enumerates slot structures).
+    """
+    m = len(slots)
+    C = len(class_loads)
+    allowed = [sorted(s) for s in slots]
+    hosts: list[list[int]] = [[] for _ in range(C)]
+    for i, s in enumerate(slots):
+        for u in s:
+            hosts[u].append(i)
+    for u in range(C):
+        if class_loads[u] > 0 and not hosts[u]:
+            return None
+
+    # Feasibility of makespan T: max-flow from classes (supply P_u) to
+    # machines (capacity T) along allowed edges. Gale's theorem on this
+    # bipartite network: feasible iff for every subset S of classes,
+    # sum_{u in S} P_u <= T * |N(S)|. We exploit the small C (tests use
+    # C <= 4) and check all subsets, then take the max ratio.
+    best = Fraction(0)
+    for mask in range(1, 1 << C):
+        total = 0
+        nbrs: set[int] = set()
+        for u in range(C):
+            if mask >> u & 1:
+                total += class_loads[u]
+                nbrs.update(hosts[u])
+        if not nbrs:
+            if total > 0:
+                return None
+            continue
+        ratio = Fraction(total, len(nbrs))
+        if ratio > best:
+            best = ratio
+    return best

@@ -1,0 +1,15 @@
+"""Extensions beyond the paper's theorems (its Section 5 directions)."""
+
+from .machine_dependent import (HeterogeneousInstance,
+                                opt_nonpreemptive_hetero,
+                                solve_nonpreemptive_hetero,
+                                solve_splittable_hetero,
+                                validate_hetero_nonpreemptive)
+
+__all__ = [
+    "HeterogeneousInstance",
+    "solve_splittable_hetero",
+    "solve_nonpreemptive_hetero",
+    "opt_nonpreemptive_hetero",
+    "validate_hetero_nonpreemptive",
+]

@@ -1,0 +1,121 @@
+"""JSON serialisation for instances and schedules, powering the CLI.
+
+Formats are intentionally plain so other tools can produce/consume them:
+
+Instance::
+
+    {"processing_times": [5, 3, 8],
+     "classes": ["db-a", "db-a", "db-b"],
+     "machines": 4,
+     "class_slots": 2}
+
+Schedules serialise to per-machine piece lists; fractional amounts and
+start times are encoded as ``"num/den"`` strings to stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from .core.instance import Instance
+from .core.schedule import (NonPreemptiveSchedule, PreemptiveSchedule,
+                            SplittableSchedule)
+
+__all__ = [
+    "instance_to_dict", "instance_from_dict",
+    "load_instance", "dump_instance",
+    "schedule_to_dict", "schedule_from_dict",
+]
+
+
+def _frac_str(x: Fraction) -> str | int:
+    x = Fraction(x)
+    return int(x) if x.denominator == 1 else f"{x.numerator}/{x.denominator}"
+
+
+def _frac_parse(v: Any) -> Fraction:
+    if isinstance(v, str):
+        num, den = v.split("/")
+        return Fraction(int(num), int(den))
+    return Fraction(v)
+
+
+def instance_to_dict(inst: Instance) -> dict:
+    labels = inst.class_labels or tuple(range(inst.num_classes))
+    return {
+        "processing_times": list(inst.processing_times),
+        "classes": [labels[u] for u in inst.classes],
+        "machines": inst.machines,
+        "class_slots": inst.class_slots,
+    }
+
+
+def instance_from_dict(d: dict) -> Instance:
+    classes = d["classes"]
+    # Contiguous integer labels are preserved verbatim so that
+    # serialisation round-trips exactly; anything else goes through the
+    # canonicalising constructor.
+    if all(isinstance(u, int) and not isinstance(u, bool) for u in classes) \
+            and classes and set(classes) == set(range(max(classes) + 1)):
+        return Instance(tuple(int(p) for p in d["processing_times"]),
+                        tuple(classes), int(d["machines"]),
+                        int(d["class_slots"]))
+    return Instance.create(d["processing_times"], classes,
+                           d["machines"], d["class_slots"])
+
+
+def load_instance(path: str) -> Instance:
+    with open(path) as fh:
+        return instance_from_dict(json.load(fh))
+
+
+def dump_instance(inst: Instance, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(instance_to_dict(inst), fh, indent=2)
+
+
+def schedule_to_dict(sched) -> dict:
+    if isinstance(sched, NonPreemptiveSchedule):
+        return {"kind": "nonpreemptive",
+                "num_machines": sched.num_machines,
+                "assignment": list(sched.assignment)}
+    if isinstance(sched, PreemptiveSchedule):
+        return {"kind": "preemptive",
+                "num_machines": sched.num_machines,
+                "machines": {
+                    str(i): [{"job": p.job, "start": _frac_str(p.start),
+                              "amount": _frac_str(p.amount)}
+                             for p in sched.pieces_on(i)]
+                    for i in sched.used_machines}}
+    if isinstance(sched, SplittableSchedule):
+        return {"kind": "splittable",
+                "num_machines": sched.num_machines,
+                "machines": {
+                    str(i): [{"job": p.job, "amount": _frac_str(p.amount)}
+                             for p in sched.pieces_on(i)]
+                    for i in sched.used_machines}}
+    raise TypeError(f"cannot serialise {type(sched)!r} "
+                    "(compact schedules are representation-specific)")
+
+
+def schedule_from_dict(d: dict):
+    kind = d["kind"]
+    if kind == "nonpreemptive":
+        return NonPreemptiveSchedule.from_assignment(d["assignment"],
+                                                     d["num_machines"])
+    if kind == "preemptive":
+        sched = PreemptiveSchedule(d["num_machines"])
+        for i, pieces in d["machines"].items():
+            for p in pieces:
+                sched.assign(int(i), p["job"], _frac_parse(p["start"]),
+                             _frac_parse(p["amount"]))
+        return sched
+    if kind == "splittable":
+        sched = SplittableSchedule(d["num_machines"])
+        for i, pieces in d["machines"].items():
+            for p in pieces:
+                sched.assign(int(i), p["job"], _frac_parse(p["amount"]))
+        return sched
+    raise ValueError(f"unknown schedule kind {kind!r}")

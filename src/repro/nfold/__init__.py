@@ -1,0 +1,18 @@
+"""N-fold integer programming substrate (Section 2 of the paper)."""
+
+from .milp_backend import solve_milp
+from .solvers import augment, brick_solutions, kernel_candidates, solve_dp
+from .structure import NFold
+from .theory import NFoldParameters, parameters_of, theorem1_log10_bound
+
+__all__ = [
+    "NFold",
+    "solve_milp",
+    "solve_dp",
+    "augment",
+    "brick_solutions",
+    "kernel_candidates",
+    "NFoldParameters",
+    "parameters_of",
+    "theorem1_log10_bound",
+]

@@ -1,0 +1,200 @@
+"""The N-fold integer program data structure (Section 2 of the paper).
+
+An N-fold ILP is ``min { w x | A x = b, l <= x <= u, x integral }`` where
+
+::
+
+        [ A_1  A_2 ... A_N ]
+    A = [ B_1   0  ...  0  ]
+        [  0   B_2 ...  0  ]
+        [  0    0  ... B_N ]
+
+with ``A_i`` of size ``r x t`` (globally uniform constraints) and ``B_i`` of
+size ``s x t`` (locally uniform constraints). Variables split into ``N``
+bricks of length ``t``.
+
+This module holds the structure itself plus validation and assembly;
+solvers live in :mod:`repro.nfold.solvers` (block-structure dynamic
+programming and Graver-style augmentation) and
+:mod:`repro.nfold.milp_backend` (HiGHS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import InvalidInstanceError
+
+__all__ = ["NFold"]
+
+
+def _as_int_matrix(M, rows_name: str) -> np.ndarray:
+    arr = np.asarray(M, dtype=np.int64)
+    if arr.ndim != 2:
+        raise InvalidInstanceError(f"{rows_name} must be a 2-D matrix")
+    return arr
+
+
+@dataclass
+class NFold:
+    """An N-fold integer linear program.
+
+    Parameters
+    ----------
+    A_blocks, B_blocks:
+        Length-``N`` lists of integer matrices of shapes ``r x t`` and
+        ``s x t`` respectively. ``r`` or ``s`` may be zero.
+    b_global:
+        Right-hand side for the ``r`` globally uniform constraints.
+    b_local:
+        Length-``N`` list of right-hand sides (length ``s`` each).
+    lower, upper:
+        Variable bounds, length ``N * t`` (brick-major). The paper's
+        Theorem 1 requires finite bounds; we enforce that.
+    w:
+        Objective, length ``N * t``; minimised.
+    """
+
+    A_blocks: list[np.ndarray]
+    B_blocks: list[np.ndarray]
+    b_global: np.ndarray
+    b_local: list[np.ndarray]
+    lower: np.ndarray
+    upper: np.ndarray
+    w: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.A_blocks = [_as_int_matrix(M, "A block") for M in self.A_blocks]
+        self.B_blocks = [_as_int_matrix(M, "B block") for M in self.B_blocks]
+        if len(self.A_blocks) != len(self.B_blocks) or not self.A_blocks:
+            raise InvalidInstanceError(
+                "need the same positive number of A and B blocks")
+        r, t = self.A_blocks[0].shape
+        s = self.B_blocks[0].shape[0]
+        for M in self.A_blocks:
+            if M.shape != (r, t):
+                raise InvalidInstanceError("inconsistent A block shapes")
+        for M in self.B_blocks:
+            if M.shape != (s, t):
+                raise InvalidInstanceError("inconsistent B block shapes")
+        self.b_global = np.asarray(self.b_global, dtype=np.int64).reshape(r)
+        self.b_local = [np.asarray(v, dtype=np.int64).reshape(s)
+                        for v in self.b_local]
+        if len(self.b_local) != self.N:
+            raise InvalidInstanceError("need one local rhs per block")
+        nvar = self.N * t
+        self.lower = np.asarray(self.lower, dtype=np.int64).reshape(nvar)
+        self.upper = np.asarray(self.upper, dtype=np.int64).reshape(nvar)
+        self.w = np.asarray(self.w, dtype=np.int64).reshape(nvar)
+        if np.any(self.lower > self.upper):
+            raise InvalidInstanceError("lower bound exceeds upper bound")
+
+    # ------------------------------------------------------------------ #
+    # uniform constructor
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def uniform(A: np.ndarray, B: np.ndarray, N: int, b_global, b_local,
+                lower, upper, w) -> "NFold":
+        """N-fold with identical blocks ``A_i = A`` and ``B_i = B``.
+
+        ``b_local`` may be a single vector (shared) or a list of ``N``
+        vectors; ``lower``/``upper``/``w`` may be single bricks (length
+        ``t``, tiled) or full vectors.
+        """
+        A = _as_int_matrix(A, "A")
+        B = _as_int_matrix(B, "B")
+        t = A.shape[1]
+
+        def tile(v, name):
+            arr = np.asarray(v, dtype=np.int64).ravel()
+            if arr.size == t:
+                return np.tile(arr, N)
+            if arr.size == N * t:
+                return arr
+            raise InvalidInstanceError(f"{name} must have length t or N*t")
+
+        bl = np.asarray(b_local, dtype=np.int64)
+        if bl.ndim == 1:
+            b_local_list = [bl.copy() for _ in range(N)]
+        else:
+            b_local_list = [bl[i] for i in range(N)]
+        return NFold([A.copy() for _ in range(N)],
+                     [B.copy() for _ in range(N)],
+                     b_global, b_local_list,
+                     tile(lower, "lower"), tile(upper, "upper"),
+                     tile(w, "w"))
+
+    # ------------------------------------------------------------------ #
+    # parameters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def N(self) -> int:
+        return len(self.A_blocks)
+
+    @property
+    def r(self) -> int:
+        return self.A_blocks[0].shape[0]
+
+    @property
+    def s(self) -> int:
+        return self.B_blocks[0].shape[0]
+
+    @property
+    def t(self) -> int:
+        return self.A_blocks[0].shape[1]
+
+    @property
+    def num_variables(self) -> int:
+        return self.N * self.t
+
+    @property
+    def delta(self) -> int:
+        """Largest absolute entry of the constraint matrix (the paper's Δ)."""
+        d = 1
+        for M in self.A_blocks + self.B_blocks:
+            if M.size:
+                d = max(d, int(np.abs(M).max()))
+        return d
+
+    def brick(self, x: np.ndarray, i: int) -> np.ndarray:
+        """View of brick ``i`` of a solution vector."""
+        return x[i * self.t:(i + 1) * self.t]
+
+    # ------------------------------------------------------------------ #
+    # assembly & checking
+    # ------------------------------------------------------------------ #
+
+    def assemble_dense(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full constraint matrix and rhs (for small problems / MILP)."""
+        N, r, s, t = self.N, self.r, self.s, self.t
+        A = np.zeros((r + N * s, N * t), dtype=np.int64)
+        for i in range(N):
+            A[:r, i * t:(i + 1) * t] = self.A_blocks[i]
+            A[r + i * s: r + (i + 1) * s, i * t:(i + 1) * t] = self.B_blocks[i]
+        b = np.concatenate([self.b_global] + self.b_local) if (r + N * s) \
+            else np.zeros(0, dtype=np.int64)
+        return A, b
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """``A x - b`` (zero iff the equality constraints hold)."""
+        x = np.asarray(x, dtype=np.int64).reshape(self.num_variables)
+        parts = [sum(self.A_blocks[i] @ self.brick(x, i)
+                     for i in range(self.N)) - self.b_global]
+        for i in range(self.N):
+            parts.append(self.B_blocks[i] @ self.brick(x, i) - self.b_local[i])
+        return np.concatenate(parts)
+
+    def is_feasible(self, x: np.ndarray) -> bool:
+        x = np.asarray(x, dtype=np.int64).reshape(self.num_variables)
+        if np.any(x < self.lower) or np.any(x > self.upper):
+            return False
+        return not np.any(self.residual(x))
+
+    def objective(self, x: np.ndarray) -> int:
+        x = np.asarray(x, dtype=np.int64).reshape(self.num_variables)
+        return int(self.w @ x)

@@ -1,0 +1,64 @@
+"""Symbolic parameter and running-time bounds for N-folds (Theorem 1).
+
+The paper solves its configuration ILPs with the algorithm of
+Jansen–Lassota–Rohwedder [15]:
+
+    ``(r s Δ)^{O(r^2 s + s^2)} * L * N t * log^{O(1)}(N t)``
+
+We cannot know the hidden constants, so :func:`theorem1_log10_bound`
+instantiates the bound with all O(.) constants set to 1 — a *shape*
+indicator used by ``benchmarks/bench_nfold.py`` to report measured solve
+times next to how the theoretical bound scales. Values are returned in
+log10 because they overflow floats quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log10
+
+from .structure import NFold
+
+__all__ = ["NFoldParameters", "parameters_of", "theorem1_log10_bound"]
+
+
+@dataclass(frozen=True)
+class NFoldParameters:
+    """The quantities Theorem 1 depends on."""
+
+    N: int
+    r: int
+    s: int
+    t: int
+    delta: int
+    L: int  # encoding length of the largest input number
+
+    def describe(self) -> str:
+        return (f"N={self.N} r={self.r} s={self.s} t={self.t} "
+                f"Δ={self.delta} L={self.L}")
+
+
+def parameters_of(nf: NFold) -> NFoldParameters:
+    """Extract Theorem 1's parameters from a concrete N-fold."""
+    largest = max(
+        [nf.delta,
+         int(abs(nf.b_global).max()) if nf.r else 1,
+         max((int(abs(v).max()) for v in nf.b_local if v.size), default=1),
+         int(abs(nf.lower).max()) if nf.num_variables else 1,
+         int(abs(nf.upper).max()) if nf.num_variables else 1,
+         int(abs(nf.w).max()) if nf.num_variables else 1])
+    L = max(1, int(largest).bit_length())
+    return NFoldParameters(N=nf.N, r=nf.r, s=nf.s, t=nf.t, delta=nf.delta,
+                           L=L)
+
+
+def theorem1_log10_bound(params: NFoldParameters) -> float:
+    """log10 of ``(r s Δ)^(r^2 s + s^2) * L * N t * log(N t)`` (all hidden
+    constants set to 1)."""
+    r, s, d = max(params.r, 1), max(params.s, 1), max(params.delta, 1)
+    nt = max(params.N * params.t, 2)
+    exponent = r * r * s + s * s
+    return (exponent * log10(r * s * d)
+            + log10(params.L)
+            + log10(nt)
+            + log10(log10(nt) + 1))

@@ -1,0 +1,18 @@
+"""Polynomial-time approximation schemes (Section 4 of the paper)."""
+
+from .common import PTASResult, delta_for_epsilon
+from .nfold_builders import build_nonpreemptive_nfold, build_splittable_nfold
+from .nonpreemptive import ptas_nonpreemptive
+from .preemptive import build_lemma16_network, ptas_preemptive
+from .splittable import ptas_splittable
+
+__all__ = [
+    "ptas_splittable",
+    "ptas_nonpreemptive",
+    "ptas_preemptive",
+    "PTASResult",
+    "delta_for_epsilon",
+    "build_splittable_nfold",
+    "build_nonpreemptive_nfold",
+    "build_lemma16_network",
+]

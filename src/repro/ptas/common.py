@@ -1,0 +1,131 @@
+"""Shared PTAS machinery: accuracy handling and dual approximation search.
+
+All three PTASes follow Hochbaum–Shmoys dual approximation: a procedure
+``try_guess(T)`` either produces a schedule of makespan ``(1+O(delta))T``
+or *proves* that no schedule of makespan ``T`` exists (the configuration
+ILP is infeasible). A binary search over guesses then yields the PTAS.
+
+The rejection test is one-sided — failure at ``T`` implies ``OPT > T`` —
+so the searches below maintain the invariant "everything below the final
+guess was rejected", giving ``T <= (1+delta) * OPT`` on the multiplicative
+grid (splittable) and ``T <= OPT`` on the integer grid (the other regimes,
+whose optima are integral).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import ceil
+from typing import Any, Callable
+
+from ..core.errors import InfeasibleGuessError
+
+__all__ = ["delta_for_epsilon", "PTASResult", "integral_guess_search",
+           "geometric_guess_search"]
+
+
+def delta_for_epsilon(epsilon: float | Fraction, budget: int = 7) -> Fraction:
+    """The accuracy parameter ``delta = 1/q`` with ``1/delta`` integral.
+
+    ``budget`` is the constant hidden in the paper's ``eps = O(delta)``:
+    our error analyses lose at most ``budget * delta`` overall, so we pick
+    ``q = ceil(budget / eps)``, giving a final ratio of at most
+    ``1 + epsilon``.
+    """
+    eps = Fraction(epsilon).limit_denominator(10**6)
+    if not 0 < eps <= 1:
+        raise ValueError("epsilon must be in (0, 1]")
+    q = int(ceil(budget / eps))
+    return Fraction(1, q)
+
+
+@dataclass
+class PTASResult:
+    """Outcome of a PTAS run.
+
+    ``guess`` is the accepted makespan guess; in the integral regimes it is
+    a certified lower bound on OPT, in the splittable regime it is at most
+    ``(1+delta) * OPT``. ``makespan / guess`` therefore certifies the
+    achieved ratio up to the stated slack.
+    """
+
+    schedule: Any
+    guess: Fraction
+    epsilon: Fraction
+    delta: Fraction
+    makespan: Fraction
+    guesses_tried: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ratio_certificate(self) -> Fraction:
+        return self.makespan / self.guess if self.guess > 0 else Fraction(0)
+
+
+def integral_guess_search(lb: int, ub: int,
+                          try_guess: Callable[[int], Any]) -> tuple[int, Any, int]:
+    """Smallest integral accepted guess in ``[lb, ub]``.
+
+    ``try_guess`` returns an artifact on acceptance and raises
+    :class:`InfeasibleGuessError` on rejection. Because rejection at ``T``
+    proves ``OPT > T``, the returned guess is at most ``OPT`` whenever
+    acceptance is guaranteed for every ``T >= OPT`` (the PTAS lemmas).
+    Returns ``(guess, artifact, guesses_tried)``.
+    """
+    tried = 0
+    lo, hi = lb, ub
+    best: tuple[int, Any] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        tried += 1
+        try:
+            art = try_guess(mid)
+        except InfeasibleGuessError:
+            lo = mid + 1
+            continue
+        best = (mid, art)
+        hi = mid - 1
+    if best is None:
+        raise InfeasibleGuessError(
+            f"no feasible guess in [{lb}, {ub}] — instance infeasible")
+    return best[0], best[1], tried
+
+
+def geometric_guess_search(lb: Fraction, ub: Fraction, delta: Fraction,
+                           try_guess: Callable[[Fraction], Any]
+                           ) -> tuple[Fraction, Any, int]:
+    """Accepted guess on the grid ``lb * (1+delta)^k``, smallest accepted k.
+
+    Guarantees ``guess <= (1+delta) * OPT``: the grid point directly below
+    the accepted one was rejected (or was the lower bound itself), and
+    rejection at ``T`` proves ``OPT > T``.
+    """
+    lb, ub = Fraction(lb), Fraction(ub)
+    if lb <= 0:
+        raise ValueError("lower bound must be positive")
+    step = 1 + Fraction(delta)
+    # number of grid points
+    kmax = 0
+    v = lb
+    while v < ub:
+        v *= step
+        kmax += 1
+    tried = 0
+    lo, hi = 0, kmax
+    best: tuple[Fraction, Any] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        T = lb * step ** mid
+        tried += 1
+        try:
+            art = try_guess(T)
+        except InfeasibleGuessError:
+            lo = mid + 1
+            continue
+        best = (T, art)
+        hi = mid - 1
+    if best is None:
+        raise InfeasibleGuessError(
+            f"no feasible guess in [{lb}, {ub}] — instance infeasible")
+    return best[0], best[1], tried

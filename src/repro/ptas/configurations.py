@@ -1,0 +1,118 @@
+"""Module and configuration enumeration for the configuration ILPs.
+
+A *module* describes the jobs of one class occupying one class slot of a
+machine; a *configuration* describes a whole machine as a multiset of
+module sizes. Both are bounded multisets, enumerated here with safety caps
+(the counts are exponential in ``1/delta``; hitting a cap raises
+:class:`CapacityExceededError` instead of grinding forever).
+
+All sizes are integers in the scaled units of the respective rounding
+(see :mod:`repro.ptas.rounding`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import CapacityExceededError
+
+__all__ = ["Multiset", "enumerate_bounded_multisets", "splittable_modules",
+           "ConfigurationSpace", "build_configuration_space"]
+
+#: A multiset as a sorted tuple of (value, count) pairs, value descending.
+Multiset = tuple[tuple[int, int], ...]
+
+
+def multiset_total(ms: Multiset) -> int:
+    return sum(v * k for v, k in ms)
+
+
+def multiset_items(ms: Multiset) -> int:
+    return sum(k for _, k in ms)
+
+
+def enumerate_bounded_multisets(values: Sequence[int], max_items: int,
+                                max_total: int,
+                                max_count_per_value: Sequence[int] | None = None,
+                                cap: int = 300_000,
+                                include_empty: bool = True
+                                ) -> list[Multiset]:
+    """All multisets over ``values`` with at most ``max_items`` elements and
+    total at most ``max_total`` (optionally a per-value count limit)."""
+    vals = sorted(set(values), reverse=True)
+    if max_count_per_value is not None:
+        limit = {v: c for v, c in zip(values, max_count_per_value)}
+    else:
+        limit = None
+    out: list[Multiset] = []
+
+    def rec(idx: int, items_left: int, total_left: int,
+            chosen: list[tuple[int, int]]) -> None:
+        if len(out) > cap:
+            raise CapacityExceededError("multisets", len(out), cap)
+        if idx == len(vals):
+            out.append(tuple(chosen))
+            return
+        v = vals[idx]
+        kmax = min(items_left, total_left // v) if v > 0 else items_left
+        if limit is not None:
+            kmax = min(kmax, limit.get(v, 0))
+        for k in range(kmax, -1, -1):
+            if k:
+                chosen.append((v, k))
+            rec(idx + 1, items_left - k, total_left - k * v, chosen)
+            if k:
+                chosen.pop()
+
+    rec(0, max_items, max_total, [])
+    if not include_empty:
+        out = [ms for ms in out if ms]
+    return out
+
+
+def splittable_modules(q: int, c: int) -> list[int]:
+    """Module sizes of the splittable PTAS in units of ``delta^2 T / c``:
+    ``{l * c : l = q .. q(q+4)}`` (split pieces are >= delta*T and multiples
+    of delta^2*T; the maximum is the machine budget T-bar)."""
+    return [ell * c for ell in range(q, q * (q + 4) + 1)]
+
+
+@dataclass(frozen=True)
+class ConfigurationSpace:
+    """Enumerated configurations plus the (h, b) bucket structure.
+
+    ``configs[k]`` is a multiset of module sizes; ``size[k] = Lambda(K)``;
+    ``slots[k] = ||K||_1``; ``buckets`` maps ``(h, b)`` to the config
+    indices with that size and slot count. The empty configuration (machine
+    running only small classes, or nothing) is always present at the
+    ``(0, 0)`` bucket.
+    """
+
+    configs: tuple[Multiset, ...]
+    sizes: tuple[int, ...]
+    slots: tuple[int, ...]
+    buckets: dict[tuple[int, int], tuple[int, ...]]
+
+    @property
+    def num_configs(self) -> int:
+        return len(self.configs)
+
+    def bucket_of(self, k: int) -> tuple[int, int]:
+        return self.sizes[k], self.slots[k]
+
+
+def build_configuration_space(module_sizes: Sequence[int], max_slots: int,
+                              max_size: int,
+                              cap: int = 300_000) -> ConfigurationSpace:
+    """Enumerate all configurations over ``module_sizes`` with at most
+    ``max_slots`` modules and total size at most ``max_size``."""
+    raw = enumerate_bounded_multisets(module_sizes, max_slots, max_size,
+                                      cap=cap, include_empty=True)
+    sizes = tuple(multiset_total(ms) for ms in raw)
+    slots = tuple(multiset_items(ms) for ms in raw)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for k, (h, b) in enumerate(zip(sizes, slots)):
+        buckets.setdefault((h, b), []).append(k)
+    return ConfigurationSpace(tuple(raw), sizes, slots,
+                              {k: tuple(v) for k, v in buckets.items()})

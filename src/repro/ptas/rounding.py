@@ -1,0 +1,221 @@
+"""Grouping and rounding preprocessing for the PTASes (Lemmas 7, 12, 15).
+
+Common scheme: fix the accuracy ``delta = 1/q`` and a makespan guess ``T``.
+Classes are made either *large* (every job has size >= delta*T) or *small*
+(a single job of size < delta*T); then processing times are rounded so only
+``O(1/delta^2)`` distinct sizes remain. All ILP data is expressed in
+integral *units*:
+
+* splittable / non-preemptive: the unit is ``delta^2 T / c`` so that both
+  large sizes (multiples of ``delta^2 T`` = ``c`` units) and small sizes
+  (multiples of the unit) are integers; the machine budget is
+  ``T-bar = (1+4 delta) T`` (splittable) respectively
+  ``(1+3 delta)(1+2 delta) T`` (non-preemptive).
+* preemptive: the unit is the layer height ``delta^2 T``; small classes
+  keep their exact sizes (the machine-indexed ILP can afford it).
+
+Rounding only ever rounds *up*, so un-rounding during schedule
+construction only shrinks pieces and never breaks feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil
+
+from ..core.instance import Instance
+
+__all__ = ["SplittableRounding", "round_splittable", "GroupedClass",
+           "GroupedInstance", "group_jobs", "IntegralRounding",
+           "round_grouped"]
+
+
+# --------------------------------------------------------------------- #
+# splittable (Lemma 7): one fluid job per class
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SplittableRounding:
+    """Scaled, rounded splittable instance for a guess ``T``."""
+
+    T: Fraction
+    q: int                      # 1/delta
+    c: int
+    unit: Fraction              # delta^2 T / c
+    size_units: tuple[int, ...]  # rounded class size, integral units
+    is_small: tuple[bool, ...]
+    Tbar_units: int             # (1+4 delta) T in units = q c (q+4)
+
+    @property
+    def delta(self) -> Fraction:
+        return Fraction(1, self.q)
+
+
+def round_splittable(inst: Instance, T: Fraction, q: int) -> SplittableRounding:
+    """Group each class into one fluid job and round (splittable PTAS)."""
+    T = Fraction(T)
+    c = inst.class_slots
+    unit = T / (q * q * c)
+    sizes = []
+    small = []
+    for P in inst.class_loads():
+        if P * q > T:  # P > delta*T -> large
+            small.append(False)
+            sizes.append(ceil(Fraction(P) / (unit * c)) * c)
+        else:
+            small.append(True)
+            sizes.append(ceil(Fraction(P) / unit))
+    return SplittableRounding(T=T, q=q, c=c, unit=unit,
+                              size_units=tuple(sizes),
+                              is_small=tuple(small),
+                              Tbar_units=q * c * (q + 4))
+
+
+# --------------------------------------------------------------------- #
+# grouping whole jobs (Lemmas 12 / 15)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class GroupedClass:
+    """One class after grouping: grouped jobs with their member lists."""
+
+    sizes: tuple[int, ...]                 # grouped job sizes (original units)
+    members: tuple[tuple[int, ...], ...]   # original job ids per grouped job
+    is_small: bool                         # single job of size < delta*T
+
+
+@dataclass(frozen=True)
+class GroupedInstance:
+    """All classes of an instance after grouping for a guess ``T``."""
+
+    T: int
+    q: int
+    classes: tuple[GroupedClass, ...]
+
+    def num_grouped_jobs(self) -> int:
+        return sum(len(g.sizes) for g in self.classes)
+
+
+def group_jobs(inst: Instance, T: int, q: int) -> GroupedInstance:
+    """Group jobs per class so every class is large or small (Lemma 12).
+
+    Small jobs (``p_j < delta*T``, i.e. ``p_j * q < T``) are repeatedly
+    packed into chunks with total in ``[delta*T, 2 delta*T)``; the leftover
+    ``Y`` (< delta*T) is merged into an existing chunk if one exists (result
+    < 3 delta*T), else into the smallest large job, else the class becomes
+    a small class consisting of ``Y`` alone.
+    """
+    classes: list[GroupedClass] = []
+    for u in range(inst.num_classes):
+        jobs = inst.jobs_of_class(u)
+        smalls = [j for j in jobs if inst.processing_times[j] * q < T]
+        bigs = [j for j in jobs if inst.processing_times[j] * q >= T]
+        # build chunks of total in [delta*T, 2*delta*T)
+        chunks: list[list[int]] = []
+        cur: list[int] = []
+        cur_load = 0
+        for j in sorted(smalls, key=lambda j: -inst.processing_times[j]):
+            cur.append(j)
+            cur_load += inst.processing_times[j]
+            if cur_load * q >= T:
+                chunks.append(cur)
+                cur, cur_load = [], 0
+        leftover = cur  # total < delta*T
+
+        sizes: list[int] = []
+        members: list[tuple[int, ...]] = []
+        for j in sorted(bigs, key=lambda j: -inst.processing_times[j]):
+            sizes.append(inst.processing_times[j])
+            members.append((j,))
+        for ch in chunks:
+            sizes.append(sum(inst.processing_times[j] for j in ch))
+            members.append(tuple(ch))
+        if leftover:
+            extra = sum(inst.processing_times[j] for j in leftover)
+            if chunks:
+                # merge into the smallest chunk (keeps sizes < 3*delta*T)
+                idx = min(range(len(bigs), len(sizes)), key=lambda i: sizes[i])
+                sizes[idx] += extra
+                members[idx] = members[idx] + tuple(leftover)
+            elif bigs:
+                # merge into the smallest large job
+                idx = min(range(len(bigs)), key=lambda i: sizes[i])
+                sizes[idx] += extra
+                members[idx] = members[idx] + tuple(leftover)
+            else:
+                sizes.append(extra)
+                members.append(tuple(leftover))
+        is_small = len(sizes) == 1 and sizes[0] * q < T
+        classes.append(GroupedClass(tuple(sizes), tuple(members), is_small))
+    return GroupedInstance(T=T, q=q, classes=tuple(classes))
+
+
+# --------------------------------------------------------------------- #
+# rounding grouped jobs (non-preemptive / preemptive)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class IntegralRounding:
+    """Rounded grouped instance in integral units.
+
+    For the non-preemptive PTAS the unit is ``delta^2 T / c`` and large
+    sizes are multiples of ``c``; for the preemptive PTAS the unit is the
+    layer height ``delta^2 T`` (``unit_div = q*q``) and small classes keep
+    exact sizes.
+    """
+
+    grouped: GroupedInstance
+    q: int
+    c: int
+    unit: Fraction
+    Tbar_units: int
+    large_sizes: tuple[tuple[int, ...], ...]   # per class, rounded job sizes
+    small_size: tuple[int, ...]                # per class, rounded small size
+    distinct_sizes: tuple[int, ...]            # the set P (units)
+
+    def size_counts(self, u: int) -> dict[int, int]:
+        """``n^u_p``: how many grouped jobs of class ``u`` have rounded
+        size ``p`` (large classes only)."""
+        out: dict[int, int] = {}
+        for sz in self.large_sizes[u]:
+            out[sz] = out.get(sz, 0) + 1
+        return out
+
+
+def round_grouped(inst: Instance, grouped: GroupedInstance, T: int, q: int,
+                  tbar_factor_num: int, tbar_factor_den: int,
+                  per_class_slot_unit: bool = True) -> IntegralRounding:
+    """Round grouped jobs to multiples of ``delta^2 T`` (large classes) and
+    of the unit (small classes).
+
+    ``tbar_factor_num/den`` encode the budget factor: non-preemptive uses
+    ``(q+3)(q+2)/q^2`` (i.e. ``(1+3 delta)(1+2 delta)``); preemptive uses
+    ``(q+3)(q^2+1)/q^3``. ``per_class_slot_unit`` selects the unit
+    ``delta^2 T / c`` (True) or ``delta^2 T`` (False).
+    """
+    c = inst.class_slots
+    div = q * q * c if per_class_slot_unit else q * q
+    unit = Fraction(T, div)
+    large_mult = c if per_class_slot_unit else 1  # delta^2*T in units
+    Tbar_units = ceil(Fraction(T * tbar_factor_num, tbar_factor_den) / unit)
+
+    large_sizes: list[tuple[int, ...]] = []
+    small_size: list[int] = []
+    distinct: set[int] = set()
+    for g in grouped.classes:
+        if g.is_small:
+            large_sizes.append(())
+            small_size.append(ceil(Fraction(g.sizes[0]) / unit))
+        else:
+            rounded = tuple(
+                ceil(Fraction(sz) / (unit * large_mult)) * large_mult
+                for sz in g.sizes)
+            large_sizes.append(rounded)
+            small_size.append(0)
+            distinct.update(rounded)
+    return IntegralRounding(grouped=grouped, q=q, c=c, unit=unit,
+                            Tbar_units=int(Tbar_units),
+                            large_sizes=tuple(large_sizes),
+                            small_size=tuple(small_size),
+                            distinct_sizes=tuple(sorted(distinct)))

@@ -1,0 +1,16 @@
+"""Synthetic workload generators and named benchmark suites."""
+
+from .generators import (adversarial_splittable_instance,
+                         data_placement_instance, enumerate_tiny_instances,
+                         tight_slots_instance, uniform_instance,
+                         video_on_demand_instance, zipf_instance)
+
+__all__ = [
+    "uniform_instance",
+    "zipf_instance",
+    "data_placement_instance",
+    "video_on_demand_instance",
+    "adversarial_splittable_instance",
+    "tight_slots_instance",
+    "enumerate_tiny_instances",
+]

@@ -1,0 +1,185 @@
+"""Synthetic workload generators.
+
+The paper motivates CCS with product planning and data placement (databases
+that must be resident on the machine running a job). There is no public
+trace for the problem, so we generate synthetic instances spanning the
+regimes the theory distinguishes:
+
+* :func:`uniform_instance` — baseline random workloads.
+* :func:`zipf_instance` — skewed class popularity (few hot classes), the
+  shape that arises in data placement / video-on-demand settings.
+* :func:`data_placement_instance` — operations against a catalogue of
+  databases; machines hold a bounded number of databases (= class slots).
+* :func:`video_on_demand_instance` — streaming requests against movies with
+  Zipf popularity; mirrors the CCBP motivation of Xavier & Miyazawa cited
+  by the paper.
+* :func:`adversarial_splittable_instance` — classes engineered so the
+  splittable algorithm's guess sits right at a border, pushing the observed
+  ratio toward its bound.
+* :func:`tight_slots_instance` — C close to ``c*m`` so class slots are the
+  binding resource.
+* :func:`enumerate_tiny_instances` — exhaustive micro-instances for
+  cross-checking approximation algorithms against exact solvers.
+
+All generators take a ``numpy.random.Generator`` and are deterministic
+given it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+from ..core.instance import Instance
+
+__all__ = [
+    "uniform_instance",
+    "zipf_instance",
+    "data_placement_instance",
+    "video_on_demand_instance",
+    "adversarial_splittable_instance",
+    "tight_slots_instance",
+    "enumerate_tiny_instances",
+]
+
+
+def _ensure_all_classes(classes: np.ndarray, C: int,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Re-map class draws so every class 0..C-1 occurs at least once
+    (instances must not contain empty classes). Only positions whose class
+    occurs more than once are overwritten, so no class is erased."""
+    classes = np.asarray(classes).copy()
+    counts = np.bincount(classes, minlength=C)
+    missing = [u for u in range(C) if counts[u] == 0]
+    if not missing:
+        return classes
+    order = rng.permutation(len(classes))
+    it = iter(order)
+    for u in missing:
+        for pos in it:
+            cur = int(classes[pos])
+            if counts[cur] > 1:
+                counts[cur] -= 1
+                classes[pos] = u
+                counts[u] += 1
+                break
+        else:  # pragma: no cover - n >= C guarantees enough duplicates
+            raise ValueError("not enough jobs to cover all classes")
+    return classes
+
+
+def uniform_instance(rng: np.random.Generator, n: int, C: int, m: int,
+                     c: int, p_lo: int = 1, p_hi: int = 100) -> Instance:
+    """Jobs with uniform sizes and uniform class membership."""
+    if C > n:
+        raise ValueError("cannot have more classes than jobs")
+    p = rng.integers(p_lo, p_hi + 1, size=n)
+    cls = _ensure_all_classes(rng.integers(0, C, size=n), C, rng)
+    return Instance(tuple(int(x) for x in p), tuple(int(u) for u in cls), m, c)
+
+
+def zipf_instance(rng: np.random.Generator, n: int, C: int, m: int, c: int,
+                  alpha: float = 1.2, p_lo: int = 1,
+                  p_hi: int = 100) -> Instance:
+    """Class membership follows a (truncated) Zipf law with exponent
+    ``alpha``: class 0 is hottest. Sizes uniform."""
+    if C > n:
+        raise ValueError("cannot have more classes than jobs")
+    weights = 1.0 / np.arange(1, C + 1) ** alpha
+    weights /= weights.sum()
+    cls = _ensure_all_classes(
+        rng.choice(C, size=n, p=weights), C, rng)
+    p = rng.integers(p_lo, p_hi + 1, size=n)
+    return Instance(tuple(int(x) for x in p), tuple(int(u) for u in cls), m, c)
+
+
+def data_placement_instance(rng: np.random.Generator, n_ops: int,
+                            n_databases: int, m: int,
+                            disk_slots: int) -> Instance:
+    """Database operations: classes are databases, class slots model the
+    bounded disk capacity of each machine. Operation costs are lognormal
+    (a heavy right tail of expensive analytical queries over cheap lookups),
+    database popularity is Zipf(1.1)."""
+    if n_databases > n_ops:
+        raise ValueError("cannot have more databases than operations")
+    weights = 1.0 / np.arange(1, n_databases + 1) ** 1.1
+    weights /= weights.sum()
+    cls = _ensure_all_classes(
+        rng.choice(n_databases, size=n_ops, p=weights), n_databases, rng)
+    cost = np.maximum(1, np.round(rng.lognormal(2.0, 0.8, size=n_ops))
+                      ).astype(int)
+    return Instance(tuple(int(x) for x in cost), tuple(int(u) for u in cls),
+                    m, disk_slots)
+
+
+def video_on_demand_instance(rng: np.random.Generator, n_requests: int,
+                             n_movies: int, m: int,
+                             cache_slots: int) -> Instance:
+    """Video-on-demand: classes are movies, a server streams only movies in
+    its cache (class slots). Movie popularity Zipf(0.8); stream durations
+    cluster around a typical length (movies have similar runtimes)."""
+    if n_movies > n_requests:
+        raise ValueError("cannot have more movies than requests")
+    weights = 1.0 / np.arange(1, n_movies + 1) ** 0.8
+    weights /= weights.sum()
+    cls = _ensure_all_classes(
+        rng.choice(n_movies, size=n_requests, p=weights), n_movies, rng)
+    dur = np.clip(np.round(rng.normal(90, 20, size=n_requests)), 30, 180
+                  ).astype(int)
+    return Instance(tuple(int(x) for x in dur), tuple(int(u) for u in cls),
+                    m, cache_slots)
+
+
+def adversarial_splittable_instance(k: int, m: int) -> Instance:
+    """A family where the splittable guess lands exactly on a border.
+
+    One heavy class of load ``k * m`` plus ``(c*m - m)`` unit filler classes
+    with ``c = 2``: the heavy class must be cut into exactly ``m`` pieces of
+    size ``k`` (using one slot per machine), and the fillers occupy the rest.
+    The round robin bound ``sum/m + T`` is then nearly tight.
+    """
+    if k < 2 or m < 2:
+        raise ValueError("need k >= 2 and m >= 2")
+    c = 2
+    fillers = c * m - m
+    p = [1] * (k * m) + [1] * fillers       # heavy class as k*m unit jobs
+    cls = [0] * (k * m) + list(range(1, fillers + 1))
+    return Instance(tuple(p), tuple(cls), m, c)
+
+
+def tight_slots_instance(rng: np.random.Generator, m: int, c: int,
+                         p_lo: int = 1, p_hi: int = 50,
+                         jobs_per_class: int = 3) -> Instance:
+    """Exactly ``C = c * m`` classes — class slots are maximally scarce;
+    every feasible schedule must pack classes perfectly."""
+    C = c * m
+    n = C * jobs_per_class
+    p = rng.integers(p_lo, p_hi + 1, size=n)
+    cls = np.repeat(np.arange(C), jobs_per_class)
+    return Instance(tuple(int(x) for x in p), tuple(int(u) for u in cls), m, c)
+
+
+def enumerate_tiny_instances(max_n: int = 4, max_p: int = 3,
+                             max_m: int = 3,
+                             max_C: int = 3) -> Iterator[Instance]:
+    """Exhaustively enumerate tiny instances (for exact cross-checks).
+
+    Yields every instance with ``n <= max_n`` jobs, processing times in
+    ``1..max_p``, contiguous class labels with ``C <= max_C`` classes, every
+    class non-empty, ``m <= max_m`` machines and ``c <= C`` class slots such
+    that ``C <= c * m`` (i.e. feasible instances only).
+    """
+    for n in range(1, max_n + 1):
+        for ps in product(range(1, max_p + 1), repeat=n):
+            for cls in product(range(min(n, max_C)), repeat=n):
+                # classes must be contiguous 0..C-1 and each non-empty
+                C = max(cls) + 1
+                if set(cls) != set(range(C)):
+                    continue
+                for m in range(1, max_m + 1):
+                    for c in range(1, C + 1):
+                        if C > c * m:
+                            continue
+                        yield Instance(tuple(ps), tuple(cls), m, c)

@@ -1,0 +1,72 @@
+"""Named workload suites used by the benchmark harness.
+
+Each suite is a deterministic list of labelled instances. ``small`` suites
+stay within the exact solvers' reach (ratios against true optima); ``large``
+suites are for scaling and LB-based ratio measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.instance import Instance
+from .generators import (adversarial_splittable_instance,
+                         data_placement_instance, tight_slots_instance,
+                         uniform_instance, video_on_demand_instance,
+                         zipf_instance)
+
+__all__ = ["small_ratio_suite", "large_ratio_suite", "scaling_suite",
+           "ptas_suite"]
+
+
+def small_ratio_suite(seeds: int = 10) -> Iterator[tuple[str, Instance]]:
+    """Micro instances solvable exactly (n <= 10, m <= 3)."""
+    for seed in range(seeds):
+        rng = np.random.default_rng(1000 + seed)
+        yield (f"uniform-{seed}",
+               uniform_instance(rng, n=9, C=4, m=3, c=2, p_hi=25))
+        rng = np.random.default_rng(2000 + seed)
+        yield (f"zipf-{seed}",
+               zipf_instance(rng, n=9, C=3, m=3, c=2, p_hi=25))
+        rng = np.random.default_rng(3000 + seed)
+        yield (f"tight-{seed}",
+               tight_slots_instance(rng, m=2, c=2, jobs_per_class=2))
+
+
+def large_ratio_suite(seeds: int = 6) -> Iterator[tuple[str, Instance]]:
+    """Instances measured against certified lower bounds."""
+    for seed in range(seeds):
+        rng = np.random.default_rng(4000 + seed)
+        yield (f"uniform-{seed}",
+               uniform_instance(rng, n=200, C=20, m=10, c=3, p_hi=1000))
+        rng = np.random.default_rng(5000 + seed)
+        yield (f"dataplace-{seed}",
+               data_placement_instance(rng, n_ops=150, n_databases=18,
+                                       m=8, disk_slots=3))
+        rng = np.random.default_rng(6000 + seed)
+        yield (f"vod-{seed}",
+               video_on_demand_instance(rng, n_requests=180, n_movies=24,
+                                        m=12, cache_slots=2))
+    for k, m in ((3, 4), (5, 8)):
+        yield (f"adversarial-k{k}-m{m}", adversarial_splittable_instance(k, m))
+
+
+def scaling_suite(sizes: tuple[int, ...] = (50, 100, 200, 400, 800)
+                  ) -> list[tuple[int, Instance]]:
+    """One instance per size for the running-time fits (R1)."""
+    out = []
+    for n in sizes:
+        rng = np.random.default_rng(42 + n)
+        out.append((n, uniform_instance(rng, n=n, C=max(4, n // 10),
+                                        m=max(2, n // 20), c=3, p_hi=1000)))
+    return out
+
+
+def ptas_suite(seeds: int = 4) -> Iterator[tuple[str, Instance]]:
+    """Small instances for the epsilon sweeps (P1-P3)."""
+    for seed in range(seeds):
+        rng = np.random.default_rng(7000 + seed)
+        yield (f"uniform-{seed}",
+               uniform_instance(rng, n=12, C=4, m=3, c=2, p_hi=20))

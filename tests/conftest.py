@@ -1,0 +1,47 @@
+"""Shared fixtures for the CCS test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.workloads import uniform_instance, zipf_instance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    """Hand-built instance with known structure: 3 classes, 2 machines."""
+    return Instance(
+        processing_times=(5, 3, 8, 6, 2),
+        classes=(0, 0, 1, 2, 2),
+        machines=2,
+        class_slots=2,
+    )
+
+
+@pytest.fixture
+def tight_instance() -> Instance:
+    """Class slots exactly cover the classes (C = c * m)."""
+    return Instance(
+        processing_times=(4, 4, 4, 4, 3, 3, 3, 3),
+        classes=(0, 1, 2, 3, 0, 1, 2, 3),
+        machines=2,
+        class_slots=2,
+    )
+
+
+def random_suite(count: int, *, n: int = 20, C: int = 5, m: int = 4,
+                 c: int = 2, p_hi: int = 50, base_seed: int = 0):
+    """Deterministic list of random instances for sweep-style tests."""
+    out = []
+    for k in range(count):
+        rng = np.random.default_rng(base_seed + k)
+        gen = uniform_instance if k % 2 == 0 else zipf_instance
+        out.append(gen(rng, n=n, C=C, m=m, c=c, p_hi=p_hi))
+    return out

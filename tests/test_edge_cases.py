@@ -1,0 +1,123 @@
+"""Edge-case batteries across all algorithms.
+
+Degenerate shapes the theory treats as corner cases: one job, one class,
+singleton classes (C = n, the Chen-et-al. EPTAS case), one slot per
+machine, all-equal jobs, extreme size variance, and the feasibility
+boundary C = c*m.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (Instance, solve_nonpreemptive, solve_preemptive,
+                   solve_splittable, validate)
+from repro.exact import opt_nonpreemptive, opt_preemptive, opt_splittable
+
+ALL_SOLVERS = (solve_splittable, solve_preemptive, solve_nonpreemptive)
+
+
+def run_all(inst: Instance):
+    out = []
+    for solver in ALL_SOLVERS:
+        res = solver(inst)
+        mk = validate(inst, res.schedule)
+        out.append((res, mk))
+    return out
+
+
+class TestDegenerateShapes:
+    def test_single_job_single_machine(self):
+        inst = Instance((7,), (0,), 1, 1)
+        for res, mk in run_all(inst):
+            assert mk == 7
+
+    def test_single_job_many_machines(self):
+        inst = Instance((7,), (0,), 9, 1)
+        # splittable can cut the job; the others cannot
+        rs, mks = run_all(inst)[0]
+        assert mks < 7
+        rp = solve_preemptive(inst)
+        assert validate(inst, rp.schedule) == 7
+        rn = solve_nonpreemptive(inst)
+        assert validate(inst, rn.schedule) == 7
+
+    def test_single_class_everything(self):
+        inst = Instance((5, 4, 3, 2, 1), (0,) * 5, 3, 1)
+        for res, mk in run_all(inst):
+            assert mk <= 3 * res.guess  # loose; exact bounds per regime
+
+    def test_singleton_classes(self):
+        # C = n: cardinality-constraint case (each class one job)
+        inst = Instance((9, 7, 5, 3, 1), tuple(range(5)), 2, 3)
+        for res, mk in run_all(inst):
+            assert mk <= 3 * res.guess
+
+    def test_all_equal_jobs(self):
+        inst = Instance((4,) * 12, tuple(i % 3 for i in range(12)), 4, 2)
+        rn = solve_nonpreemptive(inst)
+        mk = validate(inst, rn.schedule)
+        assert mk <= 7 * opt_nonpreemptive(inst) / 3
+
+    def test_extreme_size_variance(self):
+        inst = Instance((10**9, 1, 1, 1), (0, 1, 1, 2), 2, 2)
+        for res, mk in run_all(inst):
+            assert mk < 2 * 10**9
+
+    def test_feasibility_boundary_C_equals_cm(self):
+        # exactly C = c*m: every slot is needed
+        inst = Instance((3, 3, 3, 3), (0, 1, 2, 3), 2, 2)
+        for res, mk in run_all(inst):
+            for i in range(2):
+                classes = (res.schedule.classes_on(i, inst)
+                           if hasattr(res.schedule, "classes_on")
+                           else set())
+            assert mk <= 2 * res.guess + res.guess / 3
+
+    def test_m_one_is_total_load(self):
+        inst = Instance((5, 6, 7), (0, 1, 1), 1, 2)
+        assert validate(inst, solve_nonpreemptive(inst).schedule) == 18
+        assert validate(inst, solve_preemptive(inst).schedule) == 18
+        assert validate(inst, solve_splittable(inst).schedule) == 18
+
+
+class TestExactDegenerate:
+    def test_opts_on_single_job(self):
+        inst = Instance((7,), (0,), 3, 1)
+        assert opt_splittable(inst) == pytest.approx(7 / 3)
+        assert opt_preemptive(inst) == pytest.approx(7.0)
+        assert opt_nonpreemptive(inst) == 7
+
+    def test_opts_all_equal_singletons(self):
+        inst = Instance((5, 5, 5, 5), (0, 1, 2, 3), 2, 2)
+        assert opt_nonpreemptive(inst) == 10
+        assert opt_preemptive(inst) == pytest.approx(10.0)
+        assert opt_splittable(inst) == pytest.approx(10.0)
+
+
+class TestGuessMonotonicity:
+    """More machines / more slots never increase the accepted guess."""
+
+    @pytest.mark.parametrize("solver", ALL_SOLVERS)
+    def test_guess_monotone_in_machines(self, solver):
+        rng = np.random.default_rng(17)
+        p = tuple(int(x) for x in rng.integers(1, 30, size=14))
+        cls = tuple(i % 4 for i in range(14))
+        prev = None
+        for m in (2, 3, 4, 6):
+            inst = Instance(p, cls, m, 2)
+            g = solver(inst).guess
+            if prev is not None:
+                assert g <= prev
+            prev = g
+
+    def test_guess_monotone_in_slots(self):
+        rng = np.random.default_rng(18)
+        p = tuple(int(x) for x in rng.integers(1, 30, size=14))
+        cls = tuple(i % 6 for i in range(14))
+        prev = None
+        for c in (2, 3, 4):
+            inst = Instance(p, cls, 3, c)
+            g = solve_nonpreemptive(inst).guess
+            if prev is not None:
+                assert g <= prev
+            prev = g

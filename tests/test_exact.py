@@ -1,0 +1,107 @@
+"""Tests for the exact solvers (MILP and brute force)."""
+
+from fractions import Fraction
+from itertools import islice
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.core.validation import validate_nonpreemptive
+from repro.exact import (opt_nonpreemptive, opt_nonpreemptive_bruteforce,
+                         opt_preemptive, opt_splittable,
+                         splittable_lp_for_slots)
+from repro.workloads import enumerate_tiny_instances, uniform_instance
+
+
+class TestNonPreemptiveExact:
+    def test_hand_solved_instance(self):
+        # jobs 5,5,4,4 in two classes, m=2, c=1: each class on its own
+        # machine -> loads 10 and 8
+        inst = Instance((5, 5, 4, 4), (0, 0, 1, 1), 2, 1)
+        assert opt_nonpreemptive(inst) == 10
+        assert opt_nonpreemptive_bruteforce(inst) == 10
+
+    def test_class_constraint_binds(self):
+        # without class constraints opt would be 6; with c=1 the two
+        # classes cannot share machines
+        inst = Instance((4, 2, 4, 2), (0, 0, 1, 1), 2, 1)
+        assert opt_nonpreemptive(inst) == 6
+        # interleaved classes: with c=1 each machine hosts one class,
+        # so the loads are forced to 8 and 4
+        inst_tight = Instance((4, 2, 4, 2), (0, 1, 0, 1), 2, 1)
+        assert opt_nonpreemptive(inst_tight) == 8
+
+    def test_bruteforce_returns_schedule(self):
+        inst = Instance((5, 5, 4, 4), (0, 0, 1, 1), 2, 1)
+        val, sched = opt_nonpreemptive_bruteforce(inst, return_schedule=True)
+        assert validate_nonpreemptive(inst, sched) == val
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_milp_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=8, C=3, m=3, c=2, p_hi=9)
+        assert opt_nonpreemptive(inst) == opt_nonpreemptive_bruteforce(inst)
+
+    def test_exhaustive_tiny(self):
+        for inst in islice(enumerate_tiny_instances(max_n=3, max_p=3,
+                                                    max_m=2, max_C=2), 150):
+            assert opt_nonpreemptive(inst) == \
+                opt_nonpreemptive_bruteforce(inst)
+
+
+class TestSplittableExact:
+    def test_unconstrained_is_area(self):
+        inst = Instance((6, 6), (0, 1), 2, 2)
+        assert opt_splittable(inst) == pytest.approx(6.0)
+
+    def test_constraint_forces_imbalance(self):
+        # c=1, two classes of loads 9 and 3 on 2 machines: opt = 9
+        inst = Instance((9, 3), (0, 1), 2, 1)
+        assert opt_splittable(inst) == pytest.approx(9.0)
+
+    def test_fractional_optimum(self):
+        # one class, 2 machines, c=1..: class can split: opt = 4.5
+        inst = Instance((9,), (0,), 2, 1)
+        assert opt_splittable(inst) == pytest.approx(4.5)
+
+    def test_lp_for_slots_cross_check(self):
+        # fix the slot structure and compare with the subset condition
+        loads = [9, 3]
+        # both classes everywhere
+        v = splittable_lp_for_slots(loads, [{0, 1}, {0, 1}])
+        assert v == Fraction(12, 2)
+        # class 0 only on machine 0
+        v = splittable_lp_for_slots(loads, [{0}, {1}])
+        assert v == Fraction(9)
+        # class with no slot
+        assert splittable_lp_for_slots(loads, [{1}, {1}]) is None
+
+
+class TestPreemptiveExact:
+    def test_pmax_binds(self):
+        inst = Instance((10, 1, 1), (0, 1, 2), 3, 2)
+        assert opt_preemptive(inst) == pytest.approx(10.0)
+
+    def test_between_splittable_and_nonpreemptive(self):
+        for seed in range(6):
+            rng = np.random.default_rng(40 + seed)
+            inst = uniform_instance(rng, n=7, C=3, m=2, c=2, p_hi=12)
+            s = opt_splittable(inst)
+            p = opt_preemptive(inst)
+            n = opt_nonpreemptive(inst)
+            assert s <= p + 1e-7
+            assert p <= n + 1e-7
+
+    def test_mcnaughton_when_unconstrained(self):
+        # c >= C: preemptive opt = max(pmax, area/m) (McNaughton)
+        inst = Instance((7, 5, 4, 2), (0, 1, 2, 3), 2, 4)
+        assert opt_preemptive(inst) == pytest.approx(9.0)
+
+
+class TestMachineClamping:
+    def test_machines_clamped_to_jobs(self):
+        inst = Instance((4, 2), (0, 1), 50, 1)
+        # exact solvers clamp m to n internally
+        assert opt_nonpreemptive(inst) == 4
+        assert opt_preemptive(inst) == pytest.approx(4.0)

@@ -1,0 +1,89 @@
+"""Tests for the machine-dependent class-slot extension (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.validation import validate_splittable
+from repro.extensions import (HeterogeneousInstance,
+                              opt_nonpreemptive_hetero,
+                              solve_nonpreemptive_hetero,
+                              solve_splittable_hetero,
+                              validate_hetero_nonpreemptive)
+from repro.workloads import uniform_instance
+
+
+def make_hetero(seed: int, slots=(3, 2, 1)) -> HeterogeneousInstance:
+    rng = np.random.default_rng(seed)
+    base = uniform_instance(rng, n=12, C=4, m=len(slots), c=max(slots),
+                            p_hi=20)
+    return HeterogeneousInstance.create(base.processing_times,
+                                        base.classes, slots)
+
+
+class TestInstance:
+    def test_create(self):
+        h = HeterogeneousInstance.create([3, 4], [0, 1], (2, 1))
+        assert h.machines == 2
+        assert h.total_slots == 3
+
+    def test_rejects_empty_slots(self):
+        with pytest.raises(InvalidInstanceError):
+            HeterogeneousInstance.create([3], [0], ())
+
+    def test_rejects_zero_slot_machine(self):
+        with pytest.raises(InvalidInstanceError):
+            HeterogeneousInstance.create([3], [0], (2, 0))
+
+
+class TestSplittableHetero:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_feasible_and_bounded(self, seed):
+        h = make_hetero(seed)
+        sched, T = solve_splittable_hetero(h)
+        # per-machine slot check, done manually (core validator checks the
+        # homogeneous c; here we enforce the vector)
+        for i in range(h.machines):
+            assert len(sched.classes_on(i, h.base)) <= h.slot_vector[i]
+        # completeness via the homogeneous validator (slots <= max checked
+        # above more tightly)
+        mk = validate_splittable(h.homogeneous(), sched)
+        assert mk <= 2 * T
+
+    def test_uniform_vector_matches_homogeneous_bound(self):
+        h = make_hetero(3, slots=(2, 2, 2))
+        sched, T = solve_splittable_hetero(h)
+        from repro.approx.splittable import solve_splittable
+        res = solve_splittable(h.homogeneous())
+        # same counting obstruction -> same guess
+        assert T == res.guess
+
+
+class TestNonPreemptiveHetero:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_feasible(self, seed):
+        h = make_hetero(seed)
+        sched, T = solve_nonpreemptive_hetero(h)
+        mk = validate_hetero_nonpreemptive(h, sched)
+        assert mk <= 3 * T  # loose sanity envelope for the extension
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ratio_vs_exact(self, seed):
+        h = make_hetero(100 + seed, slots=(3, 2, 2))
+        sched, T = solve_nonpreemptive_hetero(h)
+        mk = validate_hetero_nonpreemptive(h, sched)
+        opt = opt_nonpreemptive_hetero(h)
+        assert mk <= 3 * opt  # empirical: typically < 1.6
+
+    def test_scarce_machine_respected(self):
+        # machine 1 has a single slot: it may host only one class
+        h = HeterogeneousInstance.create(
+            [5, 5, 4, 4, 3, 3], [0, 0, 1, 1, 2, 2], (3, 1))
+        sched, _ = solve_nonpreemptive_hetero(h)
+        validate_hetero_nonpreemptive(h, sched)
+        assert len(sched.classes_on(1, h.base)) <= 1
+
+    def test_infeasible_raises(self):
+        h = HeterogeneousInstance.create([1, 1, 1], [0, 1, 2], (1, 1))
+        with pytest.raises(InvalidInstanceError):
+            solve_nonpreemptive_hetero(h)

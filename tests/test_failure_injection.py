@@ -1,0 +1,160 @@
+"""Failure injection: validators must reject corrupted schedules.
+
+Takes correct schedules from the real algorithms and applies targeted
+mutations — dropped pieces, inflated amounts, moved jobs, shifted starts —
+asserting the independent validators catch every corruption. This guards
+the guarantee experiments: a validator that silently accepts garbage would
+make every ratio measurement meaningless.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import (InfeasibleScheduleError, Instance, validate,
+                   validate_nonpreemptive, validate_preemptive,
+                   validate_splittable)
+from repro.approx.nonpreemptive import solve_nonpreemptive
+from repro.approx.preemptive import solve_preemptive
+from repro.approx.splittable import solve_splittable
+from repro.core.schedule import (NonPreemptiveSchedule, PreemptiveSchedule,
+                                 SplittableSchedule)
+from repro.workloads import uniform_instance
+
+
+@pytest.fixture
+def inst() -> Instance:
+    rng = np.random.default_rng(42)
+    return uniform_instance(rng, n=15, C=4, m=3, c=2, p_hi=20)
+
+
+def copy_splittable(s: SplittableSchedule) -> SplittableSchedule:
+    out = SplittableSchedule(s.num_machines)
+    for i, p in s.iter_pieces():
+        out.assign(i, p.job, p.amount)
+    return out
+
+
+def copy_preemptive(s: PreemptiveSchedule) -> PreemptiveSchedule:
+    out = PreemptiveSchedule(s.num_machines)
+    for i, p in s.iter_pieces():
+        out.assign(i, p.job, p.start, p.amount)
+    return out
+
+
+class TestSplittableMutations:
+    def test_drop_piece(self, inst):
+        sched = solve_splittable(inst).schedule
+        mutated = SplittableSchedule(sched.num_machines)
+        pieces = list(sched.iter_pieces())
+        for i, p in pieces[1:]:
+            mutated.assign(i, p.job, p.amount)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_splittable(inst, mutated)
+
+    def test_inflate_amount(self, inst):
+        sched = copy_splittable(solve_splittable(inst).schedule)
+        sched.assign(0, 0, Fraction(1, 7))  # extra sliver of job 0
+        with pytest.raises(InfeasibleScheduleError):
+            validate_splittable(inst, sched)
+
+    def test_smuggle_extra_class(self, inst):
+        sched = copy_splittable(solve_splittable(inst).schedule)
+        # find a machine with exactly c classes and add one more
+        for i in sched.used_machines:
+            present = sched.classes_on(i, inst)
+            if len(present) == inst.class_slots:
+                foreign = next(j for j in range(inst.num_jobs)
+                               if inst.classes[j] not in present)
+                # move a sliver of the foreign job here (and remove the
+                # corresponding amount elsewhere to keep totals right)
+                donor = copy_splittable(sched)
+                rebuilt = SplittableSchedule(sched.num_machines)
+                stolen = False
+                for k, p in donor.iter_pieces():
+                    if not stolen and p.job == foreign and \
+                            p.amount > Fraction(1, 2):
+                        rebuilt.assign(k, p.job, p.amount - Fraction(1, 2))
+                        rebuilt.assign(i, p.job, Fraction(1, 2))
+                        stolen = True
+                    else:
+                        rebuilt.assign(k, p.job, p.amount)
+                assert stolen
+                with pytest.raises(InfeasibleScheduleError) as exc:
+                    validate_splittable(inst, rebuilt)
+                assert exc.value.machine == i
+                return
+        pytest.skip("no saturated machine in this schedule")
+
+
+class TestPreemptiveMutations:
+    def test_shift_creates_self_overlap(self, inst):
+        sched = solve_preemptive(inst).schedule
+        # find a job with >= 2 pieces and align their starts
+        victim = None
+        for j in range(inst.num_jobs):
+            if len(sched.job_intervals(j)) >= 2:
+                victim = j
+                break
+        if victim is None:
+            pytest.skip("no preempted job in this schedule")
+        mutated = PreemptiveSchedule(sched.num_machines)
+        first_start = sched.job_intervals(victim)[0][0]
+        seen = 0
+        for i, p in sched.iter_pieces():
+            if p.job == victim:
+                mutated.assign(i, p.job, first_start, p.amount)
+                seen += 1
+            else:
+                mutated.assign(i, p.job, p.start, p.amount)
+        assert seen >= 2
+        with pytest.raises(InfeasibleScheduleError):
+            validate_preemptive(inst, mutated)
+
+    def test_machine_double_booking(self, inst):
+        sched = copy_preemptive(solve_preemptive(inst).schedule)
+        machine = sched.used_machines[0]
+        first = sched.pieces_on(machine)[0]
+        # schedule an unrelated sliver on top of the first piece — but keep
+        # totals right by shrinking... simpler: duplicate in place; totals
+        # break too, either violation must be caught
+        sched.assign(machine, first.job, first.start, first.amount)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_preemptive(inst, sched)
+
+
+class TestNonPreemptiveMutations:
+    def test_unassign(self, inst):
+        sched = solve_nonpreemptive(inst).schedule
+        mutated = NonPreemptiveSchedule(inst.num_jobs, inst.machines)
+        for j in range(1, inst.num_jobs):
+            mutated.assign(j, sched.machine_of(j))
+        with pytest.raises(InfeasibleScheduleError):
+            validate_nonpreemptive(inst, mutated)
+
+    def test_pile_all_on_one_machine(self, inst):
+        mutated = NonPreemptiveSchedule.from_assignment(
+            [0] * inst.num_jobs, inst.machines)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_nonpreemptive(inst, mutated)
+
+    def test_wrong_machine_count(self, inst):
+        sched = solve_nonpreemptive(inst).schedule
+        mutated = NonPreemptiveSchedule.from_assignment(
+            sched.assignment, inst.machines + 1)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_nonpreemptive(inst, mutated)
+
+
+class TestValidatorsAcceptAllProducers:
+    """Sweep: every producer's output is accepted — the dual of the above."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sweep(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=18, C=5, m=4, c=2, p_hi=25)
+        for producer in (solve_splittable, solve_preemptive,
+                         solve_nonpreemptive):
+            res = producer(inst)
+            assert validate(inst, res.schedule) == res.makespan

@@ -1,0 +1,117 @@
+"""Tests for the core instance model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance, InvalidInstanceError
+from repro.core.instance import class_loads, encoding_length
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_instance):
+        assert small_instance.num_jobs == 5
+        assert small_instance.num_classes == 3
+        assert small_instance.total_load == 24
+        assert small_instance.pmax == 8
+
+    def test_create_maps_labels(self):
+        inst = Instance.create([1, 2, 3], ["db-a", "db-b", "db-a"], 2, 1)
+        assert inst.classes == (0, 1, 0)
+        assert inst.class_labels == ("db-a", "db-b")
+
+    def test_create_coerces_numpy_ints(self):
+        import numpy as np
+        inst = Instance.create(np.array([3, 4]), np.array([0, 1]), 2, 1)
+        assert inst.processing_times == (3, 4)
+        assert all(isinstance(p, int) for p in inst.processing_times)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((), (), 1, 1)
+
+    def test_rejects_zero_processing_time(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((0,), (0,), 1, 1)
+
+    def test_rejects_negative_processing_time(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((-3,), (0,), 1, 1)
+
+    def test_rejects_non_integer_processing_time(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((1.5,), (0,), 1, 1)
+
+    def test_rejects_boolean_processing_time(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((True,), (0,), 1, 1)
+
+    def test_rejects_non_contiguous_classes(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((1, 2), (0, 2), 1, 1)
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((1,), (0,), 0, 1)
+
+    def test_rejects_zero_class_slots(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((1,), (0,), 1, 0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance((1, 2), (0,), 1, 1)
+
+
+class TestClassQueries:
+    def test_jobs_of_class(self, small_instance):
+        assert small_instance.jobs_of_class(0) == [0, 1]
+        assert small_instance.jobs_of_class(2) == [3, 4]
+
+    def test_class_load(self, small_instance):
+        assert small_instance.class_load(0) == 8
+        assert small_instance.class_load(1) == 8
+        assert small_instance.class_load(2) == 8
+
+    def test_class_loads_matches_per_class(self, small_instance):
+        loads = small_instance.class_loads()
+        assert loads == [small_instance.class_load(u) for u in range(3)]
+
+    def test_class_loads_helper(self):
+        assert class_loads([3, 4, 5], [0, 1, 0]) == {0: 8, 1: 4}
+
+
+class TestNormalisation:
+    def test_clamps_class_slots(self):
+        inst = Instance((1, 2), (0, 1), 3, 10)
+        norm = inst.normalized()
+        assert norm.class_slots == 2
+
+    def test_identity_when_already_normal(self, small_instance):
+        assert small_instance.normalized() is small_instance
+
+    def test_trivially_unconstrained(self):
+        inst = Instance((1, 2), (0, 1), 2, 2)
+        assert inst.is_trivially_unconstrained()
+        inst2 = Instance((1, 2), (0, 1), 2, 1)
+        assert not inst2.is_trivially_unconstrained()
+
+
+class TestMisc:
+    def test_with_machines(self, small_instance):
+        inst = small_instance.with_machines(7)
+        assert inst.machines == 7
+        assert inst.processing_times == small_instance.processing_times
+
+    def test_perfectly_balanced_makespan(self, small_instance):
+        assert small_instance.perfectly_balanced_makespan() == Fraction(24, 2)
+
+    def test_encoding_length_grows_with_numbers(self):
+        small = Instance((1, 1), (0, 1), 1, 2)
+        big = Instance((10**9, 10**9), (0, 1), 1, 2)
+        assert encoding_length(big) > encoding_length(small)
+
+    def test_encoding_length_logarithmic_in_machines(self):
+        a = Instance((1,), (0,), 2, 1)
+        b = Instance((1,), (0,), 2**40, 1)
+        assert encoding_length(b) - encoding_length(a) < 50

@@ -1,0 +1,108 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+import pytest
+
+from repro import (Instance, solve_nonpreemptive, solve_preemptive,
+                   solve_splittable, validate)
+from repro.baselines import lpt_class_schedule
+from repro.exact import opt_nonpreemptive, opt_preemptive, opt_splittable
+from repro.ptas.nonpreemptive import ptas_nonpreemptive
+from repro.ptas.preemptive import ptas_preemptive
+from repro.ptas.splittable import ptas_splittable
+from repro.workloads import (data_placement_instance, uniform_instance,
+                             video_on_demand_instance)
+
+
+class TestAllAlgorithmsOneInstance:
+    """Run every algorithm on one realistic instance and check the full
+    dominance chain between regimes and algorithms."""
+
+    @pytest.fixture
+    def inst(self):
+        rng = np.random.default_rng(2024)
+        return uniform_instance(rng, n=12, C=4, m=3, c=2, p_hi=20)
+
+    def test_dominance_chain(self, inst):
+        os_ = opt_splittable(inst)
+        op_ = opt_preemptive(inst)
+        on_ = opt_nonpreemptive(inst)
+        assert os_ <= op_ + 1e-9 <= on_ + 1e-9
+
+        two_s = float(validate(inst, solve_splittable(inst).schedule))
+        two_p = float(validate(inst, solve_preemptive(inst).schedule))
+        seven_thirds = float(validate(inst, solve_nonpreemptive(inst).schedule))
+        assert two_s <= 2 * os_ + 1e-6
+        assert two_p <= 2 * op_ + 1e-6
+        assert seven_thirds <= 7 / 3 * on_ + 1e-6
+
+        pt_s = float(validate(inst, ptas_splittable(inst, delta=3).schedule))
+        pt_n = float(validate(inst, ptas_nonpreemptive(inst, delta=2).schedule))
+        assert pt_s <= (1 + 7 / 3) * os_ + 1e-6
+        assert pt_n <= (1 + 7 / 2) * on_ + 1e-6
+
+    def test_ptas_beats_constant_for_fine_delta(self, inst):
+        """With delta fine enough the PTAS makespan should be no worse
+        than the 2-approximation's on this instance (typical, not
+        guaranteed; kept as a shape check on a fixed seed)."""
+        two = float(validate(inst, solve_splittable(inst).schedule))
+        fine = float(validate(inst, ptas_splittable(inst, delta=4).schedule))
+        assert fine <= two * 1.05
+
+
+class TestMotivatingScenarios:
+    def test_data_placement_end_to_end(self):
+        rng = np.random.default_rng(7)
+        inst = data_placement_instance(rng, n_ops=80, n_databases=12, m=6,
+                                       disk_slots=2)
+        res = solve_nonpreemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert 3 * mk <= 7 * res.guess
+        # every machine's databases fit the disk
+        for i in range(inst.machines):
+            assert len(res.schedule.classes_on(i, inst)) <= 2
+
+    def test_vod_preemptive_end_to_end(self):
+        rng = np.random.default_rng(8)
+        inst = video_on_demand_instance(rng, n_requests=60, n_movies=10,
+                                        m=5, cache_slots=2)
+        res = solve_preemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert mk <= 2 * res.guess
+
+    def test_paper_beats_baseline_on_tight_slots(self):
+        """Shape claim B1: on class-slot-scarce instances the paper's
+        algorithm stays within its guarantee while LPT list scheduling can
+        produce noticeably worse makespans (or dead-end entirely)."""
+        inst = Instance(
+            tuple([9] * 4 + [1] * 8),
+            tuple([0] * 4 + [1, 1, 2, 2, 3, 3, 4, 4]),
+            machines=4, class_slots=2)
+        ours = validate(inst, solve_nonpreemptive(inst).schedule)
+        try:
+            base = lpt_class_schedule(inst).makespan(inst)
+        except Exception:
+            base = float("inf")
+        assert ours <= 7 / 3 * opt_nonpreemptive(inst)
+        assert ours <= base * 2  # we are never wildly worse
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_example(self):
+        from repro import Instance, solve_nonpreemptive
+        inst = Instance.create([5, 3, 8, 6], classes=["a", "a", "b", "c"],
+                               machines=2, class_slots=2)
+        result = solve_nonpreemptive(inst)
+        assert result.makespan <= (7 / 3) * result.guess
+
+    def test_lazy_ptas_wrappers(self):
+        import repro
+        rng = np.random.default_rng(1)
+        inst = uniform_instance(rng, n=8, C=3, m=2, c=2, p_hi=10)
+        res = repro.ptas_splittable(inst, delta=2)
+        validate(inst, res.schedule)

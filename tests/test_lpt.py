@@ -1,0 +1,47 @@
+"""Tests for the LPT subroutine."""
+
+import numpy as np
+import pytest
+
+from repro.approx.lpt import lpt_makespan, lpt_partition
+
+
+class TestLPT:
+    def test_partition_covers_all_items(self):
+        groups = lpt_partition([5, 4, 3, 2, 1], 2)
+        assert sorted(i for g in groups for i in g) == [0, 1, 2, 3, 4]
+
+    def test_classic_example(self):
+        # LPT on {5,4,3,2,1}, k=2: loads 8 and 7
+        assert lpt_makespan([5, 4, 3, 2, 1], 2) == 8
+
+    def test_more_groups_than_items(self):
+        groups = lpt_partition([3, 1], 4)
+        assert len(groups) == 4
+        assert sum(len(g) for g in groups) == 2
+
+    def test_single_group(self):
+        assert lpt_makespan([1, 2, 3], 1) == 6
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            lpt_partition([1], 0)
+
+    def test_empty_items(self):
+        assert lpt_makespan([], 3) == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_graham_bound(self, seed):
+        """LPT is a (4/3 - 1/(3k))-approximation of the balanced optimum;
+        we check the weaker area+max bound which is what Theorem 6 needs."""
+        rng = np.random.default_rng(seed)
+        sizes = [int(x) for x in rng.integers(1, 50, size=20)]
+        k = int(rng.integers(1, 6))
+        ms = lpt_makespan(sizes, k)
+        area = sum(sizes) / k
+        assert ms <= area + max(sizes)
+
+    def test_deterministic(self):
+        a = lpt_partition([7, 7, 3, 3], 2)
+        b = lpt_partition([7, 7, 3, 3], 2)
+        assert a == b

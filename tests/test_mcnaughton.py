@@ -1,0 +1,61 @@
+"""Tests for the McNaughton wrap-around baseline."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.baselines import mcnaughton_makespan, mcnaughton_schedule
+from repro.core.errors import InvalidInstanceError
+from repro.core.validation import validate_preemptive
+from repro.workloads import uniform_instance
+
+
+class TestMcNaughton:
+    def test_optimal_value(self):
+        inst = Instance((7, 5, 4, 2), (0, 1, 2, 3), 2, 4)
+        assert mcnaughton_makespan(inst) == Fraction(9)
+
+    def test_pmax_dominates(self):
+        inst = Instance((10, 1), (0, 1), 2, 2)
+        assert mcnaughton_makespan(inst) == 10
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_schedule_is_feasible_and_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 15
+        inst = uniform_instance(rng, n=n, C=n, m=4, c=n, p_hi=30)
+        sched = mcnaughton_schedule(inst)
+        mk = validate_preemptive(inst, sched)  # checks self-parallelism
+        assert mk == mcnaughton_makespan(inst)
+
+    def test_refuses_constrained_instances(self):
+        inst = Instance((3, 3, 3), (0, 1, 2), 2, 1)
+        with pytest.raises(InvalidInstanceError):
+            mcnaughton_schedule(inst)
+
+    def test_class_oblivious_mode(self):
+        inst = Instance((3, 3, 3), (0, 1, 2), 2, 1)
+        sched = mcnaughton_schedule(inst, enforce_classes=False)
+        # work is complete even though class slots may be violated
+        amounts = sched.job_amounts()
+        assert amounts == {j: Fraction(p)
+                           for j, p in enumerate(inst.processing_times)}
+
+    def test_wrapped_job_count_bounded(self):
+        # at most m-1 jobs are preempted by the wrap
+        inst = Instance(tuple([5] * 9), tuple(range(9)), 4, 9)
+        sched = mcnaughton_schedule(inst)
+        multi = sum(1 for j in range(9)
+                    if len(sched.job_intervals(j)) > 1)
+        assert multi <= 3
+
+    def test_paper_algorithm_matches_on_unconstrained(self):
+        """When c >= C the preemptive 2-approx competes with the true
+        optimum given by McNaughton — within its factor-2 guarantee."""
+        from repro.approx.preemptive import solve_preemptive
+        rng = np.random.default_rng(5)
+        inst = uniform_instance(rng, n=12, C=3, m=3, c=3, p_hi=25)
+        res = solve_preemptive(inst)
+        assert res.makespan <= 2 * mcnaughton_makespan(inst)

@@ -1,0 +1,160 @@
+"""Tests for the N-fold ILP substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidInstanceError, SolverError
+from repro.nfold import (NFold, augment, brick_solutions, kernel_candidates,
+                         parameters_of, solve_dp, solve_milp,
+                         theorem1_log10_bound)
+
+
+def simple_nfold(N=3, w=(1, 3)):
+    """N bricks of 2 vars; locally x1+x2 = 2; globally sum of first = N."""
+    A = np.array([[1, 0]])
+    B = np.array([[1, 1]])
+    return NFold.uniform(A, B, N=N, b_global=[N], b_local=[2],
+                         lower=[0, 0], upper=[2, 2], w=list(w))
+
+
+class TestStructure:
+    def test_parameters(self):
+        nf = simple_nfold()
+        assert (nf.N, nf.r, nf.s, nf.t) == (3, 1, 1, 2)
+        assert nf.delta == 1
+        assert nf.num_variables == 6
+
+    def test_assemble_dense_shape(self):
+        nf = simple_nfold()
+        A, b = nf.assemble_dense()
+        assert A.shape == (1 + 3 * 1, 6)
+        assert list(b) == [3, 2, 2, 2]
+
+    def test_residual_and_feasibility(self):
+        nf = simple_nfold()
+        x = np.array([1, 1, 1, 1, 1, 1])
+        assert nf.is_feasible(x)
+        assert not np.any(nf.residual(x))
+        assert not nf.is_feasible(np.array([2, 0, 2, 0, 2, 0]))  # global=6
+
+    def test_objective(self):
+        nf = simple_nfold()
+        assert nf.objective(np.array([1, 1, 1, 1, 1, 1])) == 12
+
+    def test_validation_errors(self):
+        with pytest.raises(InvalidInstanceError):
+            NFold([], [], [], [], [], [], [])
+        with pytest.raises(InvalidInstanceError):
+            NFold.uniform(np.array([[1, 0]]), np.array([[1, 1]]), 2,
+                          [1], [2], lower=[5, 5], upper=[0, 0], w=[0, 0])
+
+    def test_uniform_per_block_rhs(self):
+        A = np.array([[1, 0]])
+        B = np.array([[1, 1]])
+        nf = NFold.uniform(A, B, 2, [2], np.array([[1], [3]]),
+                           [0, 0], [3, 3], [0, 0])
+        assert list(nf.b_local[0]) == [1]
+        assert list(nf.b_local[1]) == [3]
+
+
+class TestBrickSolutions:
+    def test_enumeration_matches_manual(self):
+        nf = simple_nfold()
+        sols = brick_solutions(nf, 0)
+        got = sorted(tuple(s) for s in sols)
+        assert got == [(0, 2), (1, 1), (2, 0)]
+
+    def test_empty_when_inconsistent(self):
+        A = np.array([[1, 0]])
+        B = np.array([[1, 1]])
+        nf = NFold.uniform(A, B, 1, [0], [99], [0, 0], [2, 2], [0, 0])
+        assert brick_solutions(nf, 0) == []
+
+
+class TestSolvers:
+    def test_dp_matches_milp_on_simple(self):
+        nf = simple_nfold()
+        assert nf.objective(solve_dp(nf)) == nf.objective(solve_milp(nf))
+
+    def test_infeasible_returns_none(self):
+        A = np.array([[1, 0]])
+        B = np.array([[1, 1]])
+        nf = NFold.uniform(A, B, 2, [100], [2], [0, 0], [2, 2], [0, 0])
+        assert solve_dp(nf) is None
+        assert solve_milp(nf) is None
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dp_matches_milp_randomised(self, seed):
+        rng = np.random.default_rng(seed)
+        N, r, s, t = 3, 1, 1, 3
+        A = rng.integers(-2, 3, size=(r, t))
+        B = rng.integers(-2, 3, size=(s, t))
+        lo = np.zeros(t, dtype=int)
+        hi = rng.integers(1, 4, size=t)
+        w = rng.integers(-5, 6, size=t)
+        x = np.concatenate([
+            np.array([rng.integers(l, h + 1) for l, h in zip(lo, hi)])
+            for _ in range(N)])
+        bg = sum(A @ x[i * t:(i + 1) * t] for i in range(N))
+        bl = [B @ x[i * t:(i + 1) * t] for i in range(N)]
+        nf = NFold([A] * N, [B] * N, bg, bl, np.tile(lo, N), np.tile(hi, N),
+                   np.tile(w, N))
+        xd, xm = solve_dp(nf), solve_milp(nf)
+        assert xd is not None and xm is not None
+        assert nf.is_feasible(xd)
+        assert nf.objective(xd) == nf.objective(xm)
+
+    def test_dp_solution_reconstruction_feasible(self):
+        nf = simple_nfold(w=(-2, 5))
+        x = solve_dp(nf)
+        assert nf.is_feasible(x)
+
+
+class TestAugmentation:
+    def test_kernel_candidates(self):
+        B = np.array([[1, 1]])
+        cands = kernel_candidates(B, np.zeros(2), np.full(2, 2), rho=1)
+        got = sorted(tuple(v) for v in cands)
+        assert got == [(-1, 1), (1, -1)]
+
+    def test_converges_to_optimum(self):
+        nf = simple_nfold()
+        x0 = np.array([2, 0, 1, 1, 0, 2])
+        assert nf.is_feasible(x0)
+        x = augment(nf, x0, rho=2)
+        assert nf.is_feasible(x)
+        assert nf.objective(x) == nf.objective(solve_dp(nf))
+
+    def test_requires_feasible_start(self):
+        nf = simple_nfold()
+        with pytest.raises(SolverError):
+            augment(nf, np.zeros(6, dtype=int))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_start_reaches_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        nf = simple_nfold(N=4, w=(int(rng.integers(-4, 5)),
+                                  int(rng.integers(-4, 5))))
+        # feasible starts: per brick (a, 2-a), global sum of first = 4
+        firsts = rng.multinomial(4, [0.25] * 4)
+        if np.any(firsts > 2):
+            firsts = np.array([1, 1, 1, 1])
+        x0 = np.concatenate([[a, 2 - a] for a in firsts])
+        assert nf.is_feasible(x0)
+        x = augment(nf, x0, rho=2)
+        assert nf.objective(x) == nf.objective(solve_dp(nf))
+
+
+class TestTheory:
+    def test_parameters_of(self):
+        nf = simple_nfold()
+        p = parameters_of(nf)
+        assert (p.N, p.r, p.s, p.t, p.delta) == (3, 1, 1, 2, 1)
+        assert p.L >= 1
+
+    def test_bound_monotone_in_delta(self):
+        nf = simple_nfold()
+        p = parameters_of(nf)
+        b1 = theorem1_log10_bound(p)
+        p2 = type(p)(N=p.N, r=p.r, s=p.s, t=p.t, delta=100, L=p.L)
+        assert theorem1_log10_bound(p2) > b1

@@ -1,0 +1,87 @@
+"""Edge coverage for the N-fold substrate: degenerate block shapes."""
+
+import numpy as np
+import pytest
+
+from repro.nfold import (NFold, brick_solutions, parameters_of, solve_dp,
+                         solve_milp)
+from repro.nfold.theory import theorem1_log10_bound
+
+
+class TestNoLocalConstraints:
+    """s = 0: bricks constrained only by bounds and the global rows."""
+
+    def make(self):
+        A = np.array([[1, 2]])
+        B = np.zeros((0, 2), dtype=int)
+        return NFold.uniform(A, B, N=2,
+                             b_global=[5],
+                             b_local=np.zeros((2, 0), dtype=int),
+                             lower=[0, 0], upper=[3, 3], w=[1, 1])
+
+    def test_brick_solutions_full_box(self):
+        nf = self.make()
+        sols = brick_solutions(nf, 0)
+        assert len(sols) == 16  # 4 * 4 box, no local filter
+
+    def test_solvers_agree(self):
+        nf = self.make()
+        xd, xm = solve_dp(nf), solve_milp(nf)
+        assert xd is not None and xm is not None
+        assert nf.objective(xd) == nf.objective(xm)
+        assert nf.is_feasible(xd)
+
+
+class TestNoGlobalConstraints:
+    """r = 0: the problem decomposes into independent bricks."""
+
+    def make(self):
+        A = np.zeros((0, 2), dtype=int)
+        B = np.array([[1, 1]])
+        return NFold.uniform(A, B, N=3, b_global=[],
+                             b_local=[2], lower=[0, 0], upper=[2, 2],
+                             w=[3, 1])
+
+    def test_decomposed_optimum(self):
+        nf = self.make()
+        xd = solve_dp(nf)
+        xm = solve_milp(nf)
+        # per brick the optimum is (0, 2): cost 2; total 6
+        assert nf.objective(xd) == 6
+        assert nf.objective(xm) == 6
+
+
+class TestNonUniformBlocks:
+    def test_different_blocks_per_brick(self):
+        A1 = np.array([[1, 0]])
+        A2 = np.array([[0, 1]])
+        B = np.array([[1, 1]])
+        nf = NFold([A1, A2], [B, B],
+                   b_global=[3],
+                   b_local=[np.array([2]), np.array([2])],
+                   lower=np.zeros(4, dtype=int),
+                   upper=np.full(4, 2, dtype=int),
+                   w=np.array([1, 0, 0, 1]))
+        xd, xm = solve_dp(nf), solve_milp(nf)
+        assert xd is not None
+        assert nf.objective(xd) == nf.objective(xm)
+        # global: x0 (from brick 1) + x3 (from brick 2) ... = 3 via A1/A2
+        x = xd
+        assert x[0] + x[3] == 3
+
+
+class TestTheory:
+    def test_describe(self):
+        A = np.array([[1, 0]])
+        B = np.array([[1, 1]])
+        nf = NFold.uniform(A, B, 2, [2], [2], [0, 0], [2, 2], [0, 0])
+        p = parameters_of(nf)
+        desc = p.describe()
+        for token in ("N=2", "r=1", "s=1", "t=2"):
+            assert token in desc
+
+    def test_bound_finite_for_tiny(self):
+        A = np.array([[1]])
+        B = np.array([[1]])
+        nf = NFold.uniform(A, B, 1, [1], [1], [0], [1], [0])
+        assert theorem1_log10_bound(parameters_of(nf)) < 10

@@ -1,0 +1,80 @@
+"""Tests for the non-preemptive 7/3-approximation (Theorem 6)."""
+
+import numpy as np
+import pytest
+
+from repro import Instance, InvalidInstanceError, validate
+from repro.approx.nonpreemptive import solve_nonpreemptive
+from repro.exact import opt_nonpreemptive, opt_nonpreemptive_bruteforce
+from repro.workloads import (tight_slots_instance, uniform_instance,
+                             zipf_instance)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ratio_vs_guess(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=25, C=6, m=4, c=2)
+        res = solve_nonpreemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert mk == res.makespan
+        assert 3 * mk <= 7 * res.guess  # ratio 7/3, exact arithmetic
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ratio_vs_exact(self, seed):
+        rng = np.random.default_rng(70 + seed)
+        inst = zipf_instance(rng, n=10, C=3, m=3, c=2, p_hi=20)
+        res = solve_nonpreemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert 3 * mk <= 7 * opt_nonpreemptive(inst)
+
+    def test_guess_lower_bounds_optimum(self):
+        for seed in range(6):
+            rng = np.random.default_rng(200 + seed)
+            inst = uniform_instance(rng, n=9, C=3, m=3, c=2, p_hi=20)
+            assert res_guess_le_opt(inst)
+
+    def test_tight_slots(self):
+        rng = np.random.default_rng(3)
+        inst = tight_slots_instance(rng, m=3, c=2)
+        res = solve_nonpreemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert 3 * mk <= 7 * res.guess
+
+
+def res_guess_le_opt(inst):
+    res = solve_nonpreemptive(inst)
+    return res.guess <= opt_nonpreemptive_bruteforce(inst)
+
+
+class TestStructure:
+    def test_all_jobs_assigned_wholly(self):
+        rng = np.random.default_rng(4)
+        inst = uniform_instance(rng, n=30, C=5, m=4, c=2)
+        res = solve_nonpreemptive(inst)
+        assert sorted(j for i in range(4)
+                      for j in res.schedule.jobs_on(i)) == list(range(30))
+
+    def test_large_jobs_respected(self):
+        # jobs > T/2 of the same class must spread across slots
+        inst = Instance((10, 10, 10, 1), (0, 0, 0, 1), 3, 2)
+        res = solve_nonpreemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert mk <= 7 * res.guess / 3
+
+    def test_single_machine(self):
+        inst = Instance((3, 4, 5), (0, 0, 1), 1, 2)
+        res = solve_nonpreemptive(inst)
+        assert validate(inst, res.schedule) == 12
+
+    def test_infeasible_raises(self):
+        inst = Instance((1, 1, 1), (0, 1, 2), 1, 2)
+        with pytest.raises(InvalidInstanceError):
+            solve_nonpreemptive(inst)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(11)
+        inst = uniform_instance(rng, n=20, C=4, m=3, c=2)
+        a = solve_nonpreemptive(inst)
+        b = solve_nonpreemptive(inst)
+        assert a.schedule.assignment == b.schedule.assignment

@@ -1,0 +1,78 @@
+"""Tests for the preemptive 2-approximation (Theorem 5 / Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import Instance, validate
+from repro.approx.preemptive import solve_preemptive
+from repro.core.validation import validate_preemptive
+from repro.exact import opt_preemptive
+from repro.workloads import uniform_instance, zipf_instance
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_ratio_vs_guess(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=25, C=6, m=4, c=2)
+        res = solve_preemptive(inst)
+        mk = validate(inst, res.schedule)  # includes parallelism checks
+        assert mk == res.makespan
+        assert mk <= 2 * res.guess
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_ratio_vs_exact(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        inst = zipf_instance(rng, n=10, C=3, m=3, c=2, p_hi=20)
+        res = solve_preemptive(inst)
+        mk = float(validate(inst, res.schedule))
+        assert mk <= 2 * opt_preemptive(inst) + 1e-6
+
+    def test_guess_includes_pmax(self):
+        # one giant job forces T >= pmax even though the area is small
+        inst = Instance((100, 1, 1), (0, 1, 2), 3, 2)
+        res = solve_preemptive(inst)
+        assert res.guess >= 100
+
+
+class TestRepacking:
+    def test_cut_jobs_never_parallel(self):
+        """A heavy class is cut at T; the validator must accept (the shift
+        of Algorithm 2 prevents self-parallelism)."""
+        # class 0 must be cut: load 40, forced T = 20 by area (m=2, c=2)
+        inst = Instance((15, 15, 10, 9, 8), (0, 0, 0, 1, 2), 2, 2)
+        res = solve_preemptive(inst)
+        validate_preemptive(inst, res.schedule)
+
+    def test_shift_creates_gap_only_when_cutting(self):
+        # no class exceeds T: schedule should be gap-free (makespan = load)
+        inst = Instance((5, 5, 5, 5), (0, 1, 2, 3), 2, 2)
+        res = solve_preemptive(inst)
+        mk = validate(inst, res.schedule)
+        loads = {i: res.schedule.load(i)
+                 for i in res.schedule.used_machines}
+        assert mk == max(loads.values())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_many_cut_classes(self, seed):
+        """Stress the repacking with several heavy classes."""
+        rng = np.random.default_rng(seed)
+        sizes = [int(x) for x in rng.integers(20, 40, size=12)]
+        cls = [i % 3 for i in range(12)]
+        inst = Instance(tuple(sizes), tuple(cls), 4, 2)
+        res = solve_preemptive(inst)
+        mk = validate(inst, res.schedule)
+        assert mk <= 2 * res.guess
+
+
+class TestManyMachines:
+    def test_m_at_least_n_is_optimal(self):
+        inst = Instance((7, 3, 9), (0, 1, 1), 5, 1)
+        res = solve_preemptive(inst)
+        assert res.optimal
+        assert validate(inst, res.schedule) == 9  # pmax
+
+    def test_huge_m(self):
+        inst = Instance((7, 3, 9), (0, 1, 1), 2**50, 1)
+        res = solve_preemptive(inst)
+        assert validate(inst, res.schedule) == 9

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the algebraic invariants the whole library leans on:
+conservation of work through splitting/scheduling, the Lemma 3 bound,
+monotonicity of the border count, validator acceptance of every schedule
+the algorithms produce, and the ordering of the three regimes' results.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Instance, validate
+from repro.approx.borders import split_count
+from repro.approx.lpt import lpt_partition
+from repro.approx.nonpreemptive import solve_nonpreemptive
+from repro.approx.preemptive import solve_preemptive
+from repro.approx.round_robin import lemma3_bound, round_robin_assignment
+from repro.approx.splittable import solve_splittable
+from repro.approx.splitting import split_classes
+from repro.core.bounds import nonpreemptive_class_count
+
+
+@st.composite
+def instances(draw, max_n=12, max_p=30, max_m=4):
+    n = draw(st.integers(1, max_n))
+    p = draw(st.lists(st.integers(1, max_p), min_size=n, max_size=n))
+    C = draw(st.integers(1, n))
+    # surjective class assignment: first C jobs pin the classes
+    cls = list(range(C)) + [draw(st.integers(0, C - 1))
+                            for _ in range(n - C)]
+    m = draw(st.integers(1, max_m))
+    # keep feasible: C <= c*m
+    c_min = -(-C // m)
+    c = draw(st.integers(c_min, max(c_min, C)))
+    return Instance(tuple(p), tuple(cls), m, c)
+
+
+@given(instances())
+@settings(max_examples=60, deadline=None)
+def test_splittable_validates_and_two_approx(inst):
+    res = solve_splittable(inst)
+    mk = validate(inst, res.schedule)
+    assert mk == res.makespan
+    assert mk <= 2 * res.guess
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_preemptive_validates_and_two_approx(inst):
+    res = solve_preemptive(inst)
+    mk = validate(inst, res.schedule)
+    assert mk <= 2 * res.guess
+
+
+@given(instances())
+@settings(max_examples=40, deadline=None)
+def test_nonpreemptive_validates_and_bound(inst):
+    res = solve_nonpreemptive(inst)
+    mk = validate(inst, res.schedule)
+    assert 3 * mk <= 7 * res.guess
+
+
+@given(instances(), st.fractions(min_value=Fraction(1, 3),
+                                 max_value=Fraction(50)))
+@settings(max_examples=60, deadline=None)
+def test_splitting_conserves_work(inst, T):
+    subs = split_classes(inst, T)
+    total = sum((s.load for s in subs), Fraction(0))
+    assert total == inst.total_load
+    for s in subs:
+        assert s.load <= T
+        assert s.is_full == (s.load == T)
+
+
+@given(instances(), st.fractions(min_value=Fraction(1, 2),
+                                 max_value=Fraction(100)),
+       st.fractions(min_value=Fraction(0), max_value=Fraction(10)))
+@settings(max_examples=60, deadline=None)
+def test_split_count_monotone(inst, T, bump):
+    loads = inst.class_loads()
+    assert split_count(loads, T + bump + Fraction(1, 7)) <= \
+        split_count(loads, T)
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=30),
+       st.integers(1, 8))
+@settings(max_examples=80, deadline=None)
+def test_lemma3_bound_property(sizes, m):
+    rows = round_robin_assignment(sizes, m)
+    loads = [sum(sizes[i] for i in row) for row in rows]
+    assert max(loads) <= lemma3_bound(sizes, m)
+    assert sorted(i for row in rows for i in row) == list(range(len(sizes)))
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=25),
+       st.integers(1, 6))
+@settings(max_examples=80, deadline=None)
+def test_lpt_partitions(sizes, k):
+    groups = lpt_partition(sizes, k)
+    assert sorted(i for g in groups for i in g) == list(range(len(sizes)))
+    loads = sorted((sum(sizes[i] for i in g) for g in groups), reverse=True)
+    # least-loaded insertion: max group minus its smallest item <= min group
+    # (Graham's property) checked in the weak form max <= sum/k + max item
+    assert loads[0] <= sum(sizes) / k + max(sizes)
+
+
+@given(st.lists(st.integers(1, 60), min_size=1, max_size=15),
+       st.integers(2, 80))
+@settings(max_examples=80, deadline=None)
+def test_class_count_sane(pjs, T):
+    if max(pjs) > T:
+        return  # counting assumes jobs fit
+    cu = nonpreemptive_class_count(pjs, T)
+    assert cu >= 1
+    # never more slots than jobs
+    assert cu <= len(pjs)
+
+
+@given(instances(max_n=8, max_p=15))
+@settings(max_examples=25, deadline=None)
+def test_regime_dominance(inst):
+    """splittable <= preemptive <= ~nonpreemptive on the produced
+    schedules' guesses (each guess lower-bounds its regime's optimum)."""
+    rs = solve_splittable(inst)
+    rp = solve_preemptive(inst)
+    # the splittable guess never exceeds the preemptive guess: the
+    # preemptive lower bound includes pmax
+    assert rs.guess <= rp.guess

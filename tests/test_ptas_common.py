@@ -1,0 +1,81 @@
+"""Tests for the PTAS shared machinery."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InfeasibleGuessError
+from repro.ptas.common import (delta_for_epsilon, geometric_guess_search,
+                               integral_guess_search)
+
+
+class TestDelta:
+    def test_reciprocal_integer(self):
+        d = delta_for_epsilon(0.5)
+        assert d.numerator == 1
+        assert 1 / d == 14  # ceil(7 / 0.5)
+
+    def test_eps_one(self):
+        assert delta_for_epsilon(1) == Fraction(1, 7)
+
+    def test_budget(self):
+        assert delta_for_epsilon(1, budget=5) == Fraction(1, 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            delta_for_epsilon(0)
+        with pytest.raises(ValueError):
+            delta_for_epsilon(1.5)
+
+
+class TestIntegralSearch:
+    def test_finds_threshold(self):
+        calls = []
+
+        def try_guess(T):
+            calls.append(T)
+            if T < 37:
+                raise InfeasibleGuessError("no")
+            return f"ok@{T}"
+
+        g, art, tried = integral_guess_search(1, 100, try_guess)
+        assert g == 37
+        assert art == "ok@37"
+        assert tried == len(calls)
+        assert tried <= 8  # log2(100)
+
+    def test_all_infeasible_raises(self):
+        def try_guess(T):
+            raise InfeasibleGuessError("no")
+
+        with pytest.raises(InfeasibleGuessError):
+            integral_guess_search(1, 10, try_guess)
+
+    def test_single_point(self):
+        g, art, _ = integral_guess_search(5, 5, lambda T: T)
+        assert g == 5
+
+
+class TestGeometricSearch:
+    def test_guess_within_delta_of_threshold(self):
+        threshold = Fraction(50)
+
+        def try_guess(T):
+            if T < threshold:
+                raise InfeasibleGuessError("no")
+            return T
+
+        delta = Fraction(1, 4)
+        g, _, _ = geometric_guess_search(Fraction(10), Fraction(100), delta,
+                                         try_guess)
+        assert threshold <= g <= threshold * (1 + delta)
+
+    def test_lower_bound_accepted_immediately(self):
+        g, _, tried = geometric_guess_search(
+            Fraction(10), Fraction(100), Fraction(1, 2), lambda T: T)
+        assert g == 10
+
+    def test_rejects_nonpositive_lb(self):
+        with pytest.raises(ValueError):
+            geometric_guess_search(Fraction(0), Fraction(1), Fraction(1, 2),
+                                   lambda T: T)

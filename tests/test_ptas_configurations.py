@@ -1,0 +1,74 @@
+"""Tests for module/configuration enumeration."""
+
+import pytest
+
+from repro.core.errors import CapacityExceededError
+from repro.ptas.configurations import (build_configuration_space,
+                                       enumerate_bounded_multisets,
+                                       multiset_items, multiset_total,
+                                       splittable_modules)
+
+
+class TestMultisets:
+    def test_exhaustive_small(self):
+        got = enumerate_bounded_multisets([2, 3], max_items=2, max_total=5)
+        as_sets = {tuple(sorted(ms)) for ms in got}
+        expected = {
+            (),                 # empty
+            ((2, 1),), ((2, 2),),
+            ((3, 1),),
+            ((2, 1), (3, 1)),   # 2+3 = 5
+        }
+        assert as_sets == expected
+
+    def test_total_and_items_helpers(self):
+        ms = ((5, 2), (3, 1))
+        assert multiset_total(ms) == 13
+        assert multiset_items(ms) == 3
+
+    def test_per_value_count_limits(self):
+        got = enumerate_bounded_multisets([2], max_items=5, max_total=100,
+                                          max_count_per_value=[2])
+        counts = sorted(multiset_items(ms) for ms in got)
+        assert counts == [0, 1, 2]
+
+    def test_exclude_empty(self):
+        got = enumerate_bounded_multisets([1], 1, 1, include_empty=False)
+        assert got == [((1, 1),)]
+
+    def test_cap_raises(self):
+        with pytest.raises(CapacityExceededError):
+            enumerate_bounded_multisets(list(range(1, 30)), 10, 200, cap=50)
+
+
+class TestSplittableModules:
+    def test_range_and_granularity(self):
+        mods = splittable_modules(q=3, c=2)
+        # l*c for l = 3..21
+        assert mods[0] == 6
+        assert mods[-1] == 2 * 3 * 7
+        assert all(m % 2 == 0 for m in mods)
+        assert len(mods) == 21 - 3 + 1
+
+
+class TestConfigurationSpace:
+    def test_buckets_partition_configs(self):
+        space = build_configuration_space([4, 6], max_slots=2, max_size=10)
+        total = sum(len(v) for v in space.buckets.values())
+        assert total == space.num_configs
+
+    def test_empty_config_present(self):
+        space = build_configuration_space([4, 6], max_slots=2, max_size=10)
+        assert (0, 0) in space.buckets
+
+    def test_constraints_respected(self):
+        space = build_configuration_space([4, 6], max_slots=2, max_size=10)
+        for cfg, h, b in zip(space.configs, space.sizes, space.slots):
+            assert h <= 10 and b <= 2
+            assert h == multiset_total(cfg)
+            assert b == multiset_items(cfg)
+
+    def test_bucket_of(self):
+        space = build_configuration_space([5], max_slots=1, max_size=5)
+        for k in range(space.num_configs):
+            assert k in space.buckets[space.bucket_of(k)]

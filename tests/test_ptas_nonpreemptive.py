@@ -1,0 +1,71 @@
+"""Tests for the non-preemptive PTAS (Theorem 14)."""
+
+import numpy as np
+import pytest
+
+from repro import Instance, validate
+from repro.exact import opt_nonpreemptive
+from repro.ptas.nonpreemptive import ptas_nonpreemptive
+from repro.workloads import uniform_instance
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_validates_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        inst = uniform_instance(rng, n=12, C=4, m=3, c=2, p_hi=20)
+        res = ptas_nonpreemptive(inst, delta=2)
+        mk = validate(inst, res.schedule)
+        assert mk == res.makespan
+        opt = opt_nonpreemptive(inst)
+        # budget: (1+3d)(1+2d) + d round robin slack, with T <= OPT
+        assert mk <= ((1 + 3 / 2) * (1 + 2 / 2) + 1 / 2) * opt + 1e-6
+
+    def test_guess_lower_bounds_opt(self):
+        """Integral search: rejection at T proves OPT > T, so the accepted
+        guess never exceeds OPT."""
+        for seed in range(4):
+            rng = np.random.default_rng(30 + seed)
+            inst = uniform_instance(rng, n=10, C=3, m=3, c=2, p_hi=15)
+            res = ptas_nonpreemptive(inst, delta=2)
+            assert res.guess <= opt_nonpreemptive(inst)
+
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_quality_envelope_shrinks(self, q):
+        rng = np.random.default_rng(88)
+        inst = uniform_instance(rng, n=12, C=4, m=3, c=2, p_hi=20)
+        res = ptas_nonpreemptive(inst, delta=q)
+        mk = validate(inst, res.schedule)
+        opt = opt_nonpreemptive(inst)
+        envelope = (1 + 3 / q) * (1 + 2 / q) + 1 / q
+        assert mk <= envelope * opt + 1e-6
+
+
+class TestStructure:
+    def test_whole_jobs_only(self):
+        rng = np.random.default_rng(9)
+        inst = uniform_instance(rng, n=14, C=4, m=3, c=2, p_hi=20)
+        res = ptas_nonpreemptive(inst, delta=2)
+        assigned = sorted(j for i in range(inst.machines)
+                          for j in res.schedule.jobs_on(i))
+        assert assigned == list(range(inst.num_jobs))
+
+    def test_identical_big_jobs(self):
+        # four identical jobs > T/2 in one class, m=2, c=1
+        inst = Instance((10, 10, 10, 10), (0, 0, 0, 0), 2, 1)
+        res = ptas_nonpreemptive(inst, delta=2)
+        mk = validate(inst, res.schedule)
+        assert mk >= 20  # two jobs per machine unavoidable
+        assert mk <= 30  # and the PTAS should not be worse than 1.5x here
+
+    def test_many_small_jobs(self):
+        inst = Instance(tuple([1] * 30), tuple([i % 3 for i in range(30)]),
+                        3, 2)
+        res = ptas_nonpreemptive(inst, delta=2)
+        mk = validate(inst, res.schedule)
+        assert mk <= 2 * opt_nonpreemptive(inst)
+
+    def test_single_machine(self):
+        inst = Instance((4, 6, 2), (0, 1, 1), 1, 2)
+        res = ptas_nonpreemptive(inst, delta=2)
+        assert validate(inst, res.schedule) == 12

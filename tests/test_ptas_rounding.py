@@ -1,0 +1,128 @@
+"""Tests for PTAS grouping and rounding (Lemmas 7, 12, 15)."""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro import Instance
+from repro.ptas.rounding import (group_jobs, round_grouped, round_splittable)
+from repro.workloads import uniform_instance
+
+
+class TestSplittableRounding:
+    def test_units_are_integral(self):
+        inst = Instance((7, 13, 2), (0, 1, 2), 2, 2)
+        rnd = round_splittable(inst, Fraction(10), q=3)
+        assert all(isinstance(s, int) for s in rnd.size_units)
+        assert rnd.Tbar_units == 3 * 2 * 7  # q*c*(q+4)
+
+    def test_large_small_classification(self):
+        # T=10, q=3 -> delta*T = 10/3; class loads 7 (large), 2 (small)
+        inst = Instance((7, 2), (0, 1), 2, 2)
+        rnd = round_splittable(inst, Fraction(10), q=3)
+        assert rnd.is_small == (False, True)
+
+    def test_large_sizes_multiples_of_c(self):
+        inst = Instance((7, 13), (0, 1), 2, 2)
+        rnd = round_splittable(inst, Fraction(10), q=3)
+        for s, small in zip(rnd.size_units, rnd.is_small):
+            if not small:
+                assert s % inst.class_slots == 0
+
+    def test_rounding_never_shrinks(self):
+        inst = Instance((7, 13, 2), (0, 1, 2), 2, 2)
+        rnd = round_splittable(inst, Fraction(10), q=3)
+        for u, P in enumerate(inst.class_loads()):
+            assert rnd.size_units[u] * rnd.unit >= P
+
+    def test_rounding_error_bounded(self):
+        # large classes gain at most delta^2*T, small at most delta^2*T/c
+        inst = Instance((7, 13, 2), (0, 1, 2), 2, 2)
+        T = Fraction(10)
+        rnd = round_splittable(inst, T, q=3)
+        for u, P in enumerate(inst.class_loads()):
+            excess = rnd.size_units[u] * rnd.unit - P
+            cap = T / 9 if not rnd.is_small[u] else T / 18
+            assert 0 <= excess <= cap
+
+
+class TestGrouping:
+    def test_every_class_large_or_small(self):
+        rng = np.random.default_rng(1)
+        inst = uniform_instance(rng, n=40, C=6, m=4, c=2, p_hi=30)
+        T = 200
+        g = group_jobs(inst, T, q=3)
+        for gc in g.classes:
+            if gc.is_small:
+                assert len(gc.sizes) == 1
+                assert gc.sizes[0] * 3 < T
+            else:
+                assert all(sz * 3 >= T for sz in gc.sizes)
+
+    def test_members_partition_jobs(self):
+        rng = np.random.default_rng(2)
+        inst = uniform_instance(rng, n=30, C=5, m=3, c=2, p_hi=40)
+        g = group_jobs(inst, 150, q=3)
+        seen = sorted(j for gc in g.classes for mem in gc.members
+                      for j in mem)
+        assert seen == list(range(30))
+
+    def test_sizes_are_member_sums(self):
+        rng = np.random.default_rng(3)
+        inst = uniform_instance(rng, n=30, C=5, m=3, c=2, p_hi=40)
+        g = group_jobs(inst, 150, q=3)
+        for gc in g.classes:
+            for sz, mem in zip(gc.sizes, gc.members):
+                assert sz == sum(inst.processing_times[j] for j in mem)
+
+    def test_chunks_bounded_by_3_delta_T(self):
+        """Chunks built from small jobs stay below 3*delta*T (merged
+        leftover included) whenever the class has no big jobs merged."""
+        inst = Instance(tuple([3] * 20), tuple([0] * 20), 2, 1)
+        T, q = 30, 3  # delta*T = 10; smalls of size 3
+        g = group_jobs(inst, T, q)
+        gc = g.classes[0]
+        assert not gc.is_small
+        assert all(sz * q < 3 * T for sz in gc.sizes)
+
+    def test_lone_leftover_becomes_small_class(self):
+        inst = Instance((2,), (0,), 1, 1)
+        g = group_jobs(inst, 100, q=2)
+        assert g.classes[0].is_small
+
+
+class TestRoundGrouped:
+    def test_nonpreemptive_units(self):
+        rng = np.random.default_rng(4)
+        inst = uniform_instance(rng, n=20, C=4, m=3, c=2, p_hi=30)
+        T = 100
+        g = group_jobs(inst, T, q=2)
+        rnd = round_grouped(inst, g, T, q=2,
+                            tbar_factor_num=(2 + 3) * (2 + 2),
+                            tbar_factor_den=4, per_class_slot_unit=True)
+        assert rnd.Tbar_units == 2 * 2 * inst.class_slots * 5  # c(q+2)(q+3)
+        for u in range(inst.num_classes):
+            for sz in rnd.large_sizes[u]:
+                assert sz % inst.class_slots == 0
+
+    def test_preemptive_units_layer_counts(self):
+        inst = Instance((10, 10, 3), (0, 0, 1), 2, 2)
+        T = 20
+        g = group_jobs(inst, T, q=2)
+        rnd = round_grouped(inst, g, T, q=2,
+                            tbar_factor_num=(2 + 3) * (4 + 1),
+                            tbar_factor_den=8, per_class_slot_unit=False)
+        # unit = T/4 = 5; job of 10 -> 2 layers
+        assert rnd.unit == Fraction(5)
+        assert rnd.large_sizes[0] == (2, 2)
+
+    def test_size_counts(self):
+        inst = Instance((10, 10, 9), (0, 0, 0), 2, 1)
+        g = group_jobs(inst, 20, q=2)
+        rnd = round_grouped(inst, g, 20, q=2,
+                            tbar_factor_num=20, tbar_factor_den=4,
+                            per_class_slot_unit=False)
+        # the leftover small job (9) merges into one of the big jobs
+        counts = rnd.size_counts(0)
+        assert sum(counts.values()) == 2
+        assert counts == {4: 1, 2: 1}

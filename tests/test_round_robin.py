@@ -1,0 +1,67 @@
+"""Tests for round robin allotment and Lemma 3."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.approx.round_robin import (lemma3_bound, round_robin_assignment,
+                                      round_robin_rows)
+
+
+class TestAssignment:
+    def test_figure1_layout(self):
+        """The paper's Figure 1: 10 classes, 4 machines — machine 1 gets
+        classes 1, 5, 9 (0-based: 0, 4, 8)."""
+        sizes = list(range(20, 0, -2))  # strictly decreasing, 10 items
+        rows = round_robin_assignment(sizes, 4)
+        assert rows[0] == [0, 4, 8]
+        assert rows[1] == [1, 5, 9]
+        assert rows[2] == [2, 6]
+        assert rows[3] == [3, 7]
+
+    def test_rows_view_matches(self):
+        sizes = [5, 4, 3, 2, 1]
+        rows = round_robin_rows(sizes, 2)
+        assert rows == [[0, 1], [2, 3], [4]]
+
+    def test_sorts_by_size_desc(self):
+        sizes = [1, 100, 50]
+        rows = round_robin_assignment(sizes, 3)
+        assert rows[0] == [1]
+        assert rows[1] == [2]
+        assert rows[2] == [0]
+
+    def test_ties_broken_by_index(self):
+        rows = round_robin_assignment([5, 5, 5], 2)
+        assert rows[0] == [0, 2]
+        assert rows[1] == [1]
+
+    def test_more_machines_than_items(self):
+        rows = round_robin_assignment([3, 2], 10)
+        assert len(rows) == 2  # machines beyond the items are omitted
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            round_robin_assignment([1], 0)
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bound_holds(self, seed):
+        rng = np.random.default_rng(seed)
+        sizes = [int(x) for x in rng.integers(1, 100, size=17)]
+        m = int(rng.integers(1, 6))
+        rows = round_robin_assignment(sizes, m)
+        loads = [sum(sizes[i] for i in row) for row in rows]
+        assert max(loads) <= lemma3_bound(sizes, m)
+
+    def test_bound_tightness_example(self):
+        # equal sizes: bound = sum/m + s; actual = ceil(n/m)*s
+        sizes = [6] * 4
+        assert lemma3_bound(sizes, 2) == Fraction(24, 2) + 6
+        rows = round_robin_assignment(sizes, 2)
+        assert max(sum(sizes[i] for i in r) for r in rows) == 12
+
+    def test_empty(self):
+        assert lemma3_bound([], 3) == 0

@@ -1,0 +1,119 @@
+"""Tests for the schedule data structures."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (InvalidInstanceError, NonPreemptiveSchedule,
+                   PreemptiveSchedule, SplittableSchedule)
+from repro.core.schedule import Piece, TimedPiece
+
+
+class TestPiece:
+    def test_amount_coerced_to_fraction(self):
+        p = Piece(0, 3)
+        assert p.amount == Fraction(3)
+        assert isinstance(p.amount, Fraction)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidInstanceError):
+            Piece(0, 0)
+        with pytest.raises(InvalidInstanceError):
+            TimedPiece(0, 0, -1)
+
+    def test_timed_piece_end(self):
+        tp = TimedPiece(1, Fraction(1, 2), Fraction(3, 2))
+        assert tp.end == 2
+
+    def test_timed_piece_rejects_negative_start(self):
+        with pytest.raises(InvalidInstanceError):
+            TimedPiece(0, -1, 1)
+
+
+class TestSplittableSchedule:
+    def test_loads_and_makespan(self):
+        s = SplittableSchedule(3)
+        s.assign(0, 0, 5)
+        s.assign(0, 1, Fraction(1, 2))
+        s.assign(2, 2, 4)
+        assert s.load(0) == Fraction(11, 2)
+        assert s.load(1) == 0
+        assert s.makespan() == Fraction(11, 2)
+        assert s.used_machines == [0, 2]
+
+    def test_job_amounts_aggregate_across_machines(self):
+        s = SplittableSchedule(2)
+        s.assign(0, 7, 2)
+        s.assign(1, 7, 3)
+        assert s.job_amounts() == {7: Fraction(5)}
+
+    def test_machine_bounds_checked(self):
+        s = SplittableSchedule(2)
+        with pytest.raises(InvalidInstanceError):
+            s.assign(2, 0, 1)
+        with pytest.raises(InvalidInstanceError):
+            s.assign(-1, 0, 1)
+
+    def test_huge_machine_count_sparse(self):
+        s = SplittableSchedule(2**60)
+        s.assign(2**59, 0, 1)
+        assert s.load(2**59) == 1
+        assert s.num_pieces() == 1
+
+    def test_iter_pieces_sorted_by_machine(self):
+        s = SplittableSchedule(3)
+        s.assign(2, 0, 1)
+        s.assign(0, 1, 1)
+        machines = [i for i, _ in s.iter_pieces()]
+        assert machines == [0, 2]
+
+
+class TestPreemptiveSchedule:
+    def test_makespan_is_latest_end(self):
+        s = PreemptiveSchedule(2)
+        s.assign(0, 0, 0, 4)
+        s.assign(1, 1, 10, 2)
+        assert s.makespan() == 12
+
+    def test_job_intervals_sorted(self):
+        s = PreemptiveSchedule(2)
+        s.assign(0, 0, 5, 1)
+        s.assign(1, 0, 0, 2)
+        assert s.job_intervals(0) == [(Fraction(0), Fraction(2)),
+                                      (Fraction(5), Fraction(6))]
+
+    def test_pieces_on_sorted_by_time(self):
+        s = PreemptiveSchedule(1)
+        s.assign(0, 0, 5, 1)
+        s.assign(0, 1, 0, 2)
+        starts = [p.start for p in s.pieces_on(0)]
+        assert starts == sorted(starts)
+
+
+class TestNonPreemptiveSchedule:
+    def test_roundtrip(self, small_instance):
+        s = NonPreemptiveSchedule(5, 2)
+        for j in range(5):
+            s.assign(j, j % 2)
+        assert s.jobs_on(0) == [0, 2, 4]
+        assert s.machine_of(3) == 1
+        assert s.makespan(small_instance) == max(
+            s.load(0, small_instance), s.load(1, small_instance))
+
+    def test_from_assignment(self, small_instance):
+        s = NonPreemptiveSchedule.from_assignment([0, 0, 1, 1, 0], 2)
+        assert s.load(0, small_instance) == 5 + 3 + 2
+        assert s.load(1, small_instance) == 8 + 6
+
+    def test_classes_per_machine(self, small_instance):
+        s = NonPreemptiveSchedule.from_assignment([0, 0, 1, 1, 1], 2)
+        cls = s.classes_per_machine(small_instance)
+        assert cls[0] == {0}
+        assert cls[1] == {1, 2}
+
+    def test_bounds_checked(self):
+        s = NonPreemptiveSchedule(2, 2)
+        with pytest.raises(InvalidInstanceError):
+            s.assign(0, 5)
+        with pytest.raises(InvalidInstanceError):
+            s.assign(5, 0)

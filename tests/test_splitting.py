@@ -1,0 +1,71 @@
+"""Tests for sub-class splitting (Algorithm 1's cutting step)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.approx.borders import split_count
+from repro.approx.splitting import split_classes
+from repro.workloads import uniform_instance
+
+
+class TestSplitClasses:
+    def test_uncut_class_is_whole(self):
+        inst = Instance((3, 2), (0, 0), 2, 1)
+        subs = split_classes(inst, Fraction(10))
+        assert len(subs) == 1
+        assert subs[0].load == 5
+        assert not subs[0].is_full
+
+    def test_exact_multiple_yields_full_pieces_only(self):
+        inst = Instance((4, 4, 4), (0, 0, 0), 3, 1)
+        subs = split_classes(inst, Fraction(4))
+        assert len(subs) == 3
+        assert all(s.is_full and s.load == 4 for s in subs)
+
+    def test_job_cut_at_boundary(self):
+        inst = Instance((10,), (0,), 2, 1)
+        subs = split_classes(inst, Fraction(6))
+        assert [s.load for s in subs] == [6, 4]
+        # the single job appears in both pieces with the right amounts
+        assert subs[0].pieces == ((0, Fraction(6)),)
+        assert subs[1].pieces == ((0, Fraction(4)),)
+
+    def test_cut_job_tail_is_last_head_is_first(self):
+        """The invariant Algorithm 2's repacking relies on."""
+        inst = Instance((3, 5, 4), (0, 0, 0), 2, 1)
+        subs = split_classes(inst, Fraction(6))
+        # piece boundaries: 6 cuts job 1 (spanning [3, 8))
+        assert subs[0].pieces[-1][0] == 1          # tail of job 1 ends piece 0
+        assert subs[1].pieces[0][0] == 1           # head of job 1 starts piece 1
+
+    def test_count_matches_split_count(self):
+        rng = np.random.default_rng(7)
+        inst = uniform_instance(rng, n=30, C=5, m=4, c=2)
+        for T in (Fraction(37), Fraction(101, 3), Fraction(250)):
+            subs = split_classes(inst, T)
+            assert len(subs) == split_count(inst.class_loads(), T)
+
+    def test_amounts_conserved(self):
+        rng = np.random.default_rng(8)
+        inst = uniform_instance(rng, n=25, C=4, m=3, c=2)
+        subs = split_classes(inst, Fraction(50))
+        per_job: dict[int, Fraction] = {}
+        for s in subs:
+            for j, a in s.pieces:
+                per_job[j] = per_job.get(j, Fraction(0)) + a
+        assert per_job == {j: Fraction(p)
+                           for j, p in enumerate(inst.processing_times)}
+
+    def test_fractional_T(self):
+        inst = Instance((5,), (0,), 2, 1)
+        subs = split_classes(inst, Fraction(5, 2))
+        assert [s.load for s in subs] == [Fraction(5, 2), Fraction(5, 2)]
+        assert all(s.is_full for s in subs)
+
+    def test_rejects_nonpositive_T(self):
+        inst = Instance((5,), (0,), 2, 1)
+        with pytest.raises(ValueError):
+            split_classes(inst, Fraction(0))

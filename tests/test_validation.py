@@ -1,0 +1,126 @@
+"""Tests for the feasibility validators — including that they *reject*."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (InfeasibleScheduleError, Instance, NonPreemptiveSchedule,
+                   PreemptiveSchedule, SplittableSchedule, validate,
+                   validate_nonpreemptive, validate_preemptive,
+                   validate_splittable)
+
+
+def _full_splittable(inst: Instance) -> SplittableSchedule:
+    s = SplittableSchedule(inst.machines)
+    for j, p in enumerate(inst.processing_times):
+        s.assign(j % inst.machines, j, p)
+    return s
+
+
+class TestSplittableValidation:
+    def test_accepts_complete_schedule(self, small_instance):
+        s = SplittableSchedule(2)
+        # classes 0,1 on machine 0; class 2 on machine 1
+        s.assign(0, 0, 5)
+        s.assign(0, 1, 3)
+        s.assign(0, 2, 8)
+        s.assign(1, 3, 6)
+        s.assign(1, 4, 2)
+        assert validate_splittable(small_instance, s) == 16
+
+    def test_rejects_missing_amount(self, small_instance):
+        s = SplittableSchedule(2)
+        s.assign(0, 0, 4)  # job 0 has p=5
+        with pytest.raises(InfeasibleScheduleError):
+            validate_splittable(small_instance, s)
+
+    def test_rejects_over_assignment(self, small_instance):
+        s = _full_splittable(small_instance)
+        s.assign(1, 0, 1)  # extra unit of job 0
+        with pytest.raises(InfeasibleScheduleError):
+            validate_splittable(small_instance, s)
+
+    def test_rejects_class_slot_violation(self):
+        inst = Instance((1, 1, 1), (0, 1, 2), 2, 1)
+        s = SplittableSchedule(2)
+        s.assign(0, 0, 1)
+        s.assign(0, 1, 1)  # second class on machine 0, but c=1
+        s.assign(1, 2, 1)
+        with pytest.raises(InfeasibleScheduleError) as exc:
+            validate_splittable(inst, s)
+        assert exc.value.machine == 0
+
+    def test_rejects_machine_count_mismatch(self, small_instance):
+        s = _full_splittable(small_instance.with_machines(3))
+        with pytest.raises(InfeasibleScheduleError):
+            validate_splittable(small_instance, s)
+
+    def test_fractional_split_accepted(self):
+        inst = Instance((3,), (0,), 2, 1)
+        s = SplittableSchedule(2)
+        s.assign(0, 0, Fraction(3, 2))
+        s.assign(1, 0, Fraction(3, 2))
+        assert validate_splittable(inst, s) == Fraction(3, 2)
+
+
+class TestPreemptiveValidation:
+    def test_rejects_same_job_parallelism(self):
+        inst = Instance((4,), (0,), 2, 1)
+        s = PreemptiveSchedule(2)
+        s.assign(0, 0, 0, 2)
+        s.assign(1, 0, 1, 2)  # overlaps [1,2) with the first piece
+        with pytest.raises(InfeasibleScheduleError) as exc:
+            validate_preemptive(inst, s)
+        assert "parallel" in str(exc.value)
+
+    def test_accepts_sequential_pieces_across_machines(self):
+        inst = Instance((4,), (0,), 2, 1)
+        s = PreemptiveSchedule(2)
+        s.assign(0, 0, 0, 2)
+        s.assign(1, 0, 2, 2)
+        assert validate_preemptive(inst, s) == 4
+
+    def test_rejects_machine_overlap(self):
+        inst = Instance((2, 2), (0, 0), 1, 1)
+        s = PreemptiveSchedule(1)
+        s.assign(0, 0, 0, 2)
+        s.assign(0, 1, 1, 2)  # overlaps on the same machine
+        with pytest.raises(InfeasibleScheduleError):
+            validate_preemptive(inst, s)
+
+    def test_touching_endpoints_allowed(self):
+        inst = Instance((2, 2), (0, 0), 1, 1)
+        s = PreemptiveSchedule(1)
+        s.assign(0, 0, 0, 2)
+        s.assign(0, 1, 2, 2)
+        assert validate_preemptive(inst, s) == 4
+
+    def test_idle_gaps_allowed(self):
+        inst = Instance((2,), (0,), 1, 1)
+        s = PreemptiveSchedule(1)
+        s.assign(0, 0, 10, 2)
+        assert validate_preemptive(inst, s) == 12
+
+
+class TestNonPreemptiveValidation:
+    def test_rejects_unassigned_job(self, small_instance):
+        s = NonPreemptiveSchedule(5, 2)
+        s.assign(0, 0)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_nonpreemptive(small_instance, s)
+
+    def test_rejects_class_slot_violation(self, small_instance):
+        # all three classes on machine 0 with c=2
+        s = NonPreemptiveSchedule.from_assignment([0, 0, 0, 0, 0], 2)
+        with pytest.raises(InfeasibleScheduleError):
+            validate_nonpreemptive(small_instance, s)
+
+    def test_accepts_and_returns_makespan(self, small_instance):
+        s = NonPreemptiveSchedule.from_assignment([0, 0, 0, 1, 1], 2)
+        assert validate_nonpreemptive(small_instance, s) == 16
+
+    def test_dispatch(self, small_instance):
+        s = NonPreemptiveSchedule.from_assignment([0, 0, 0, 1, 1], 2)
+        assert validate(small_instance, s) == 16
+        with pytest.raises(TypeError):
+            validate(small_instance, object())

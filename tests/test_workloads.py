@@ -1,0 +1,88 @@
+"""Tests for the workload generators."""
+
+from itertools import islice
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.workloads import (adversarial_splittable_instance,
+                             data_placement_instance,
+                             enumerate_tiny_instances, tight_slots_instance,
+                             uniform_instance, video_on_demand_instance,
+                             zipf_instance)
+from repro.workloads.suites import (large_ratio_suite, ptas_suite,
+                                    scaling_suite, small_ratio_suite)
+
+
+class TestGenerators:
+    def test_uniform_shape(self, rng):
+        inst = uniform_instance(rng, n=50, C=7, m=4, c=2, p_lo=5, p_hi=10)
+        assert inst.num_jobs == 50
+        assert inst.num_classes == 7
+        assert all(5 <= p <= 10 for p in inst.processing_times)
+
+    def test_all_classes_nonempty(self):
+        # stress the class-coverage repair across many seeds
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            inst = zipf_instance(rng, n=12, C=10, m=3, c=4, alpha=2.5)
+            assert inst.num_classes == 10
+
+    def test_deterministic_given_seed(self):
+        a = uniform_instance(np.random.default_rng(5), 20, 4, 3, 2)
+        b = uniform_instance(np.random.default_rng(5), 20, 4, 3, 2)
+        assert a == b
+
+    def test_rejects_more_classes_than_jobs(self, rng):
+        with pytest.raises(ValueError):
+            uniform_instance(rng, n=3, C=5, m=2, c=2)
+
+    def test_data_placement_heavy_tail(self, rng):
+        inst = data_placement_instance(rng, n_ops=300, n_databases=10, m=5,
+                                       disk_slots=2)
+        assert inst.pmax > np.median(inst.processing_times)
+
+    def test_vod_durations_clipped(self, rng):
+        inst = video_on_demand_instance(rng, 200, 20, 8, 2)
+        assert all(30 <= p <= 180 for p in inst.processing_times)
+
+    def test_adversarial_structure(self):
+        inst = adversarial_splittable_instance(k=3, m=4)
+        assert inst.class_slots == 2
+        assert inst.class_load(0) == 3 * 4
+
+    def test_tight_slots_exactly_cm_classes(self, rng):
+        inst = tight_slots_instance(rng, m=3, c=2)
+        assert inst.num_classes == 6
+
+
+class TestTinyEnumeration:
+    def test_yields_valid_instances(self):
+        for inst in islice(enumerate_tiny_instances(), 100):
+            assert isinstance(inst, Instance)
+            assert inst.num_classes <= inst.class_slots * inst.machines
+
+    def test_covers_multiple_shapes(self):
+        shapes = {(i.num_jobs, i.machines, i.class_slots)
+                  for i in islice(enumerate_tiny_instances(max_n=2), 200)}
+        assert len(shapes) >= 4
+
+
+class TestSuites:
+    def test_small_suite_sizes(self):
+        suite = list(small_ratio_suite(seeds=2))
+        assert len(suite) == 6
+        assert all(inst.num_jobs <= 10 for _, inst in suite)
+
+    def test_large_suite_labels_unique(self):
+        labels = [label for label, _ in large_ratio_suite(seeds=2)]
+        assert len(labels) == len(set(labels))
+
+    def test_scaling_suite_monotone(self):
+        sizes = [n for n, _ in scaling_suite((10, 20, 40))]
+        assert sizes == [10, 20, 40]
+
+    def test_ptas_suite(self):
+        suite = list(ptas_suite(seeds=2))
+        assert all(inst.num_jobs <= 12 for _, inst in suite)
