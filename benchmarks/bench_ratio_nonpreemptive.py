@@ -1,20 +1,17 @@
 """T6 — Theorem 6: the non-preemptive algorithm never exceeds ratio 7/3."""
 
-from conftest import report
+from conftest import engine_run, report
 from repro.analysis.ratio import measure_ratios
 from repro.analysis.reporting import experiment_header
 from repro.approx.nonpreemptive import solve_nonpreemptive
 from repro.core.bounds import nonpreemptive_lower_bound
-from repro.core.validation import validate
 from repro.exact import opt_nonpreemptive
 from repro.workloads.suites import large_ratio_suite, small_ratio_suite
 
 BOUND = 7 / 3
 
-
-def run_alg(inst):
-    res = solve_nonpreemptive(inst)
-    return float(validate(inst, res.schedule))
+# Registry dispatch + validation through the execution engine.
+run_alg = engine_run("nonpreemptive")
 
 
 def test_t6_ratio_vs_exact():

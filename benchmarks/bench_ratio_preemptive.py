@@ -1,18 +1,15 @@
 """T5 — Theorem 5: the preemptive 2-approximation never exceeds ratio 2."""
 
-from conftest import report
+from conftest import engine_run, report
 from repro.analysis.ratio import measure_ratios
 from repro.analysis.reporting import experiment_header
 from repro.approx.preemptive import solve_preemptive
 from repro.core.bounds import preemptive_lower_bound
-from repro.core.validation import validate
 from repro.exact import opt_preemptive
 from repro.workloads.suites import large_ratio_suite, small_ratio_suite
 
-
-def run_alg(inst):
-    res = solve_preemptive(inst)
-    return float(validate(inst, res.schedule))
+# Registry dispatch + validation through the execution engine.
+run_alg = engine_run("preemptive")
 
 
 def test_t5_ratio_vs_exact():

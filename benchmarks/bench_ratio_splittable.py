@@ -5,19 +5,16 @@ the adversarial family that pushes the bound. Benchmarks the solver on the
 large suite.
 """
 
-from conftest import report
+from conftest import engine_run, report
 from repro.analysis.ratio import measure_ratios
 from repro.analysis.reporting import experiment_header, format_table
 from repro.approx.splittable import solve_splittable
 from repro.core.bounds import splittable_lower_bound
-from repro.core.validation import validate
 from repro.exact import opt_splittable
 from repro.workloads.suites import large_ratio_suite, small_ratio_suite
 
-
-def run_alg(inst):
-    res = solve_splittable(inst)
-    return float(validate(inst, res.schedule))
+# Registry dispatch + validation through the execution engine.
+run_alg = engine_run("splittable")
 
 
 def test_t4_ratio_vs_exact():

@@ -11,8 +11,26 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine import run_batch
+
 
 def report(text: str) -> None:
     """Print a table so `pytest -s benchmarks/` shows the experiment
     output; kept as a helper so benches stay uniform."""
     print("\n" + text)
+
+
+def engine_run(algorithm: str, **kwargs):
+    """``run_alg`` factory that routes a bench through the execution
+    engine (registry dispatch + validation + SolveReport), inline so the
+    measured time is the solver's, not the process pool's.
+
+    Returns a callable ``inst -> float`` (the validated makespan) that
+    raises if the run did not come back ``ok``.
+    """
+    def run(inst) -> float:
+        (rep,) = run_batch([inst], [(algorithm, kwargs)], workers=0)
+        assert rep.ok, f"{algorithm} on {rep.instance_label}: " \
+                       f"{rep.status} ({rep.error})"
+        return float(rep.makespan)
+    return run

@@ -16,6 +16,14 @@ Public API highlights
 * :func:`repro.ptas_splittable`, :func:`repro.ptas_preemptive`,
   :func:`repro.ptas_nonpreemptive` — the (1+eps)-approximation schemes
   (Theorems 10/11, 19, 14).
+* :mod:`repro.registry` — the declarative solver registry: every
+  algorithm (approximations, PTASes, exact solvers, baselines) registers
+  once with its metadata; :func:`get_solver` / :func:`list_solvers`
+  resolve by name.
+* :mod:`repro.engine` — the unified execution engine:
+  :func:`repro.engine.run_batch` fans instances x algorithms out over a
+  process pool with per-run timeouts and content-hash caching, returning
+  one frozen :class:`repro.engine.SolveReport` per run.
 * :mod:`repro.exact` — exact optima for small instances (ground truth).
 * :mod:`repro.workloads` — synthetic workload generators.
 * :mod:`repro.nfold` — the N-fold integer programming substrate.
@@ -29,6 +37,14 @@ Quickstart
 >>> result = solve_nonpreemptive(inst)
 >>> result.makespan <= (7 / 3) * result.guess
 True
+
+Or registry-dispatched, at batch scale:
+
+>>> from repro import get_solver, run_batch
+>>> get_solver("nonpreemptive").ratio_label
+'7/3'
+>>> [r.status for r in run_batch([inst], ["splittable", "lpt"], workers=0)]
+['ok', 'ok']
 """
 
 from .approx import (NonPreemptiveResult, PreemptiveResult, SplittableResult,
@@ -38,8 +54,10 @@ from .core import (CCSError, InfeasibleScheduleError, Instance,
                    PreemptiveSchedule, SplittableSchedule, validate,
                    validate_nonpreemptive, validate_preemptive,
                    validate_splittable)
+from .engine import ReportCache, SolveReport, run_batch
+from .registry import SolverSpec, get_solver, list_solvers
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Instance",
@@ -59,6 +77,12 @@ __all__ = [
     "CCSError",
     "InvalidInstanceError",
     "InfeasibleScheduleError",
+    "SolverSpec",
+    "get_solver",
+    "list_solvers",
+    "run_batch",
+    "SolveReport",
+    "ReportCache",
     "__version__",
 ]
 

@@ -1,8 +1,12 @@
-"""Command-line interface: ``python -m repro``.
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
 
 Subcommands::
 
-    solve    run an algorithm on a JSON instance, print/emit the schedule
+    list     show every registered algorithm with its metadata
+    solve    run one algorithm on a JSON instance, print/emit the schedule
+    batch    run many instances x many algorithms through the parallel
+             execution engine, emit a JSON or CSV report
+    compare  run several algorithms on one instance, print a table
     bounds   print the certified lower/upper bounds for an instance
     generate emit a synthetic instance as JSON
 
@@ -11,8 +15,13 @@ Examples::
     python -m repro generate --kind uniform --n 40 --classes 8 \
         --machines 4 --slots 2 --seed 7 -o inst.json
     python -m repro solve inst.json --algorithm nonpreemptive
-    python -m repro solve inst.json --algorithm ptas-splittable --delta 3
-    python -m repro bounds inst.json
+    python -m repro list --variant splittable
+    python -m repro batch a.json b.json \
+        --algorithms splittable,nonpreemptive,lpt --workers 4 -o report.json
+    python -m repro compare inst.json --algorithms splittable,ffd,greedy
+
+Algorithm dispatch goes through :mod:`repro.registry`; adding a solver
+there makes it available to every subcommand with no CLI changes.
 """
 
 from __future__ import annotations
@@ -23,60 +32,151 @@ import sys
 
 import numpy as np
 
-from .approx.nonpreemptive import solve_nonpreemptive
-from .approx.preemptive import solve_preemptive
-from .approx.splittable import solve_splittable
+from .analysis.reporting import format_table, render_reports, reports_to_csv
 from .core.bounds import (area_bound, nonpreemptive_lower_bound, pmax_bound,
                           preemptive_lower_bound, splittable_lower_bound,
                           trivial_upper_bound)
+from .core.errors import CCSError, InvalidInstanceError
+from .core.instance import Instance
 from .core.validation import validate
+from .engine import ReportCache, run_batch
 from .io import dump_instance, instance_to_dict, load_instance, \
     schedule_to_dict
+from .registry import UnknownSolverError, get_solver, list_solvers
 from .workloads import (data_placement_instance, uniform_instance,
                         video_on_demand_instance, zipf_instance)
 
-ALGORITHMS = ("splittable", "preemptive", "nonpreemptive",
-              "ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive")
+
+def _load_instance_checked(path: str) -> Instance:
+    """Load an instance JSON or exit with a message instead of a traceback."""
+    try:
+        return load_instance(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: instance file not found: {path}")
+    except IsADirectoryError:
+        raise SystemExit(f"error: {path} is a directory, not an instance file")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    except KeyError as exc:
+        raise SystemExit(
+            f"error: {path} is missing required instance field {exc}")
+    except (InvalidInstanceError, TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {path} is not a valid instance: {exc}")
+
+
+def _resolve_algorithms(names: str, delta: int | None
+                        ) -> list[tuple[str, dict]]:
+    """Split a comma list, resolve each name, attach accepted kwargs."""
+    algos: list[tuple[str, dict]] = []
+    for name in (s.strip() for s in names.split(",")):
+        if not name:
+            continue
+        try:
+            spec = get_solver(name)
+        except UnknownSolverError as exc:
+            # KeyError subclass: str() would wrap the message in quotes
+            raise SystemExit(f"error: {exc.args[0]}")
+        kwargs = {}
+        if delta is not None and "delta" in spec.accepts:
+            kwargs["delta"] = delta
+        algos.append((spec.name, kwargs))
+    if not algos:
+        raise SystemExit("error: no algorithms given")
+    return algos
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_solvers(variant=args.variant, kind=args.kind)
+    rows = [[s.name, s.variant, s.kind, s.ratio_label, s.theorem or "-",
+             "yes" if s.needs_milp else "no",
+             ",".join(s.accepts) or "-", s.summary]
+            for s in specs]
+    print(format_table(["name", "variant", "kind", "ratio", "theorem",
+                        "milp", "kwargs", "summary"], rows,
+                       title=f"{len(rows)} registered solver(s)"))
+    return 0
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    inst = load_instance(args.instance)
-    name = args.algorithm
-    if name == "splittable":
-        res = solve_splittable(inst)
-    elif name == "preemptive":
-        res = solve_preemptive(inst)
-    elif name == "nonpreemptive":
-        res = solve_nonpreemptive(inst)
-    elif name == "ptas-splittable":
-        from .ptas.splittable import ptas_splittable
-        res = ptas_splittable(inst, delta=args.delta)
-    elif name == "ptas-preemptive":
-        from .ptas.preemptive import ptas_preemptive
-        res = ptas_preemptive(inst, delta=args.delta)
-    elif name == "ptas-nonpreemptive":
-        from .ptas.nonpreemptive import ptas_nonpreemptive
-        res = ptas_nonpreemptive(inst, delta=args.delta)
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown algorithm {name}")
-    makespan = validate(inst, res.schedule)
-    print(f"algorithm : {name}", file=sys.stderr)
+    inst = _load_instance_checked(args.instance)
+    try:
+        spec = get_solver(args.algorithm)
+    except UnknownSolverError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    kwargs = {"delta": args.delta} if "delta" in spec.accepts else {}
+    try:
+        raw = spec.solve(inst, **kwargs)
+        if raw.schedule is not None:
+            makespan = validate(inst, raw.schedule)
+        else:
+            makespan = raw.makespan
+    except CCSError as exc:
+        raise SystemExit(f"error: {spec.name} failed: {exc}")
+    print(f"algorithm : {spec.name}", file=sys.stderr)
     print(f"makespan  : {float(makespan):.6g}", file=sys.stderr)
-    print(f"guess T   : {float(res.guess):.6g}", file=sys.stderr)
+    print(f"guess T   : {float(raw.guess):.6g}", file=sys.stderr)
     print(f"certified : makespan/guess = "
-          f"{float(makespan) / float(res.guess):.4f}", file=sys.stderr)
+          f"{float(makespan) / float(raw.guess):.4f}", file=sys.stderr)
+    if args.output or args.emit:
+        if raw.schedule is None:
+            raise SystemExit(
+                f"error: {spec.name} computes only the optimum value; "
+                "it has no schedule to emit")
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(schedule_to_dict(raw.schedule), fh, indent=2)
+            print(f"schedule written to {args.output}", file=sys.stderr)
+        else:
+            json.dump(schedule_to_dict(raw.schedule), sys.stdout, indent=2)
+            print()
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    instances = [(path, _load_instance_checked(path))
+                 for path in args.instances]
+    algos = _resolve_algorithms(args.algorithms, args.delta)
+    cache = ReportCache(args.cache_dir) if args.cache_dir else None
+    reports = run_batch(instances, algos, workers=args.workers,
+                        timeout=args.timeout, cache=cache)
+    if args.format == "csv":
+        payload = reports_to_csv(reports)
+    else:
+        payload = json.dumps({"reports": [r.to_dict() for r in reports]},
+                             indent=2) + "\n"
     if args.output:
         with open(args.output, "w") as fh:
-            json.dump(schedule_to_dict(res.schedule), fh, indent=2)
-        print(f"schedule written to {args.output}", file=sys.stderr)
-    elif args.emit:
-        json.dump(schedule_to_dict(res.schedule), sys.stdout, indent=2)
-        print()
+            fh.write(payload)
+        print(f"{len(reports)} report(s) written to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    print(render_reports(reports), file=sys.stderr)
+    failed = [r for r in reports if r.status == "error"]
+    return 1 if failed else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    inst = _load_instance_checked(args.instance)
+    algos = _resolve_algorithms(args.algorithms, args.delta)
+    reports = run_batch([(args.instance, inst)], algos,
+                        workers=args.workers, timeout=args.timeout)
+    ok = [r for r in reports if r.ok and r.makespan is not None]
+    best = min((float(r.makespan) for r in ok), default=None)
+    print(render_reports(reports, title=f"compare on {args.instance}"))
+    if best is not None:
+        winners = ", ".join(r.algorithm for r in ok
+                            if float(r.makespan) == best)
+        print(f"best makespan {best:.6g} by: {winners}")
     return 0
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
-    inst = load_instance(args.instance)
+    inst = _load_instance_checked(args.instance)
     print(f"area            : {float(area_bound(inst)):.6g}")
     print(f"pmax            : {pmax_bound(inst)}")
     print(f"splittable LB   : {float(splittable_lower_bound(inst)):.6g}")
@@ -86,22 +186,18 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+_GENERATORS = {
+    "uniform": uniform_instance,
+    "zipf": zipf_instance,
+    "data-placement": data_placement_instance,
+    "vod": video_on_demand_instance,
+}
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    if args.kind == "uniform":
-        inst = uniform_instance(rng, args.n, args.classes, args.machines,
-                                args.slots)
-    elif args.kind == "zipf":
-        inst = zipf_instance(rng, args.n, args.classes, args.machines,
-                             args.slots)
-    elif args.kind == "data-placement":
-        inst = data_placement_instance(rng, args.n, args.classes,
-                                       args.machines, args.slots)
-    elif args.kind == "vod":
-        inst = video_on_demand_instance(rng, args.n, args.classes,
-                                        args.machines, args.slots)
-    else:  # pragma: no cover
-        raise SystemExit(f"unknown kind {args.kind}")
+    inst = _GENERATORS[args.kind](rng, args.n, args.classes, args.machines,
+                                  args.slots)
     if args.output:
         dump_instance(inst, args.output)
         print(f"instance written to {args.output}", file=sys.stderr)
@@ -111,15 +207,40 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+
+def _add_engine_options(p: argparse.ArgumentParser,
+                        default_workers: int | None) -> None:
+    p.add_argument("--algorithms",
+                   default="splittable,preemptive,nonpreemptive",
+                   help="comma-separated registry names")
+    p.add_argument("--delta", type=int, default=None,
+                   help="PTAS accuracy q (delta = 1/q), forwarded to any "
+                        "PTAS in --algorithms")
+    p.add_argument("--workers", type=int, default=default_workers,
+                   help="process fan-out; 0 runs inline")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock timeout in seconds")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro",
                                 description="Class Constrained Scheduling")
     sub = p.add_subparsers(dest="command", required=True)
 
+    pl = sub.add_parser("list", help="show the solver registry")
+    pl.add_argument("--variant",
+                    choices=("splittable", "preemptive", "nonpreemptive"))
+    pl.add_argument("--kind",
+                    choices=("approx", "ptas", "exact", "baseline"))
+    pl.set_defaults(func=_cmd_list)
+
     ps = sub.add_parser("solve", help="run an algorithm on an instance")
     ps.add_argument("instance", help="path to an instance JSON file")
-    ps.add_argument("--algorithm", choices=ALGORITHMS,
-                    default="nonpreemptive")
+    ps.add_argument("--algorithm", default="nonpreemptive",
+                    help="any registered solver (see `repro list`)")
     ps.add_argument("--delta", type=int, default=2,
                     help="PTAS accuracy q (delta = 1/q)")
     ps.add_argument("-o", "--output", help="write the schedule JSON here")
@@ -127,13 +248,31 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print the schedule JSON to stdout")
     ps.set_defaults(func=_cmd_solve)
 
+    pba = sub.add_parser(
+        "batch", help="instances x algorithms through the parallel engine")
+    pba.add_argument("instances", nargs="+",
+                     help="instance JSON files")
+    _add_engine_options(pba, default_workers=None)
+    pba.add_argument("--format", choices=("json", "csv"), default="json")
+    pba.add_argument("--cache-dir",
+                     help="persist per-run reports here, keyed by "
+                          "instance content hash")
+    pba.add_argument("-o", "--output", help="write the report here")
+    pba.set_defaults(func=_cmd_batch)
+
+    pc = sub.add_parser("compare",
+                        help="run several algorithms on one instance")
+    pc.add_argument("instance")
+    _add_engine_options(pc, default_workers=0)
+    pc.set_defaults(func=_cmd_compare)
+
     pb = sub.add_parser("bounds", help="print certified makespan bounds")
     pb.add_argument("instance")
     pb.set_defaults(func=_cmd_bounds)
 
     pg = sub.add_parser("generate", help="emit a synthetic instance")
-    pg.add_argument("--kind", choices=("uniform", "zipf", "data-placement",
-                                       "vod"), default="uniform")
+    pg.add_argument("--kind", choices=sorted(_GENERATORS),
+                    default="uniform")
     pg.add_argument("--n", type=int, default=40)
     pg.add_argument("--classes", type=int, default=8)
     pg.add_argument("--machines", type=int, default=4)

@@ -1,14 +1,24 @@
-"""Fixed-width table rendering for benchmark output.
+"""Fixed-width table rendering for benchmark and engine output.
 
 The bench files print paper-vs-measured tables in a uniform format so that
-EXPERIMENTS.md can quote them verbatim.
+EXPERIMENTS.md can quote them verbatim; :func:`render_reports` and
+:func:`reports_to_csv` render the execution engine's
+:class:`~repro.engine.report.SolveReport` batches for the CLI.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import csv
+import io
+import json
+from fractions import Fraction
+from typing import TYPE_CHECKING, Sequence
 
-__all__ = ["format_table", "experiment_header"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.report import SolveReport
+
+__all__ = ["format_table", "experiment_header", "render_reports",
+           "reports_to_csv"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -35,3 +45,43 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
 def experiment_header(exp_id: str, paper_artifact: str, expectation: str) -> str:
     return (f"=== {exp_id}: {paper_artifact} ===\n"
             f"expected shape: {expectation}")
+
+
+def _num(x) -> str:
+    if x is None:
+        return "-"
+    return f"{float(Fraction(x)):.6g}"
+
+
+def render_reports(reports: Sequence["SolveReport"],
+                   title: str | None = None) -> str:
+    """One fixed-width row per :class:`SolveReport` in a batch."""
+    rows = []
+    for r in reports:
+        note = "cached" if r.cached else (r.error[:40] if r.error else "")
+        rows.append([r.instance_label or r.instance_digest[:8], r.algorithm,
+                     r.status, _num(r.makespan),
+                     "-" if r.certified_ratio is None
+                     else f"{r.certified_ratio:.4f}",
+                     r.proven_ratio or "-", f"{r.wall_time_s * 1e3:.1f}",
+                     note])
+    return format_table(["instance", "algorithm", "status", "makespan",
+                         "ratio", "proven", "ms", "note"], rows, title=title)
+
+
+#: Flat column order for CSV export (``extra`` is JSON-encoded last).
+CSV_FIELDS = ("instance_label", "algorithm", "variant", "status", "makespan",
+              "guess", "certified_ratio", "proven_ratio", "wall_time_s",
+              "validated", "cached", "error", "instance_digest", "extra")
+
+
+def reports_to_csv(reports: Sequence["SolveReport"]) -> str:
+    """CSV export of a batch; fractions use the exact "num/den" encoding."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(CSV_FIELDS)
+    for r in reports:
+        d = r.to_dict()
+        writer.writerow([json.dumps(d[k]) if k == "extra" else d[k]
+                         for k in CSV_FIELDS])
+    return buf.getvalue()

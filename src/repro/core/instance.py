@@ -15,8 +15,10 @@ legal inputs — but :meth:`Instance.normalized` applies the paper's reductions
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import cached_property
 from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -124,25 +126,38 @@ class Instance:
     # basic quantities
     # ------------------------------------------------------------------ #
 
+    # The derived quantities below are memoized: they are read inside the
+    # solvers' binary-search/guess loops, and rescanning all jobs on every
+    # access turns O(n) algorithms into O(n^2). ``Instance`` is frozen, so
+    # caching on first access is safe (``cached_property`` writes straight
+    # into ``__dict__``, bypassing the frozen ``__setattr__``).
+
     @property
     def num_jobs(self) -> int:
         """``n``, the number of jobs."""
         return len(self.processing_times)
 
-    @property
+    @cached_property
     def num_classes(self) -> int:
         """``C``, the number of distinct classes (max index + 1)."""
         return max(self.classes) + 1 if self.classes else 0
 
-    @property
+    @cached_property
     def total_load(self) -> int:
         """Sum of all processing times."""
         return sum(self.processing_times)
 
-    @property
+    @cached_property
     def pmax(self) -> int:
         """Largest processing time."""
         return max(self.processing_times)
+
+    @cached_property
+    def _class_loads(self) -> tuple[int, ...]:
+        loads = [0] * self.num_classes
+        for p, u in zip(self.processing_times, self.classes):
+            loads[u] += p
+        return tuple(loads)
 
     def jobs_of_class(self, u: int) -> list[int]:
         """Indices of the jobs belonging to class ``u``."""
@@ -150,15 +165,11 @@ class Instance:
 
     def class_load(self, u: int) -> int:
         """``P_u``: accumulated processing time of class ``u``."""
-        return sum(p for p, cu in zip(self.processing_times, self.classes)
-                   if cu == u)
+        return self._class_loads[u]
 
     def class_loads(self) -> list[int]:
-        """``[P_0, ..., P_{C-1}]`` in one pass."""
-        loads = [0] * self.num_classes
-        for p, u in zip(self.processing_times, self.classes):
-            loads[u] += p
-        return loads
+        """``[P_0, ..., P_{C-1}]`` (fresh list; callers may mutate it)."""
+        return list(self._class_loads)
 
     # ------------------------------------------------------------------ #
     # normalisation (paper Section 1 w.l.o.g. reductions)
@@ -185,6 +196,27 @@ class Instance:
     # ------------------------------------------------------------------ #
     # misc
     # ------------------------------------------------------------------ #
+
+    @cached_property
+    def _digest(self) -> str:
+        h = hashlib.sha256()
+        h.update(b"ccs-instance-v1")
+        for part in (self.processing_times, self.classes,
+                     (self.machines, self.class_slots)):
+            h.update(b"|")
+            for v in part:
+                h.update(str(int(v)).encode())
+                h.update(b",")
+        return h.hexdigest()
+
+    def digest(self) -> str:
+        """Stable content hash of the mathematical instance.
+
+        Covers processing times, class indices, ``m`` and ``c`` — not the
+        cosmetic ``class_labels`` — so two instances that compare equal hash
+        identically. Used by the execution engine's result cache.
+        """
+        return self._digest
 
     def with_machines(self, m: int) -> "Instance":
         """Copy of this instance with a different machine count."""

@@ -1,0 +1,14 @@
+"""Unified execution engine: registry-dispatched solver runs at scale.
+
+* :class:`~repro.engine.report.SolveReport` — the one result record.
+* :func:`~repro.engine.runner.run_batch` — instances x algorithms with
+  process fan-out, per-run timeouts and caching.
+* :class:`~repro.engine.cache.ReportCache` — content-hash-keyed results.
+"""
+
+from .cache import ReportCache, cache_key
+from .report import SolveReport
+from .runner import DEFAULT_WORKERS, execute, run_batch
+
+__all__ = ["SolveReport", "ReportCache", "cache_key", "execute",
+           "run_batch", "DEFAULT_WORKERS"]

@@ -1,0 +1,78 @@
+"""Result caching for the execution engine.
+
+Keys combine the instance content hash (:meth:`Instance.digest`), the
+solver name and its canonicalised kwargs, so a cache survives relabelling
+and reordering of batches. The cache is in-memory by default; give it a
+directory to persist reports as one JSON file per key (safe to share
+between processes — writes go through a same-directory rename).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.instance import Instance
+from .report import SolveReport
+
+__all__ = ["ReportCache", "cache_key"]
+
+
+def cache_key(inst: Instance, algorithm: str,
+              kwargs: Mapping[str, Any] | None = None) -> str:
+    """Deterministic key for (instance, algorithm, kwargs)."""
+    payload = json.dumps(
+        {"instance": inst.digest(), "algorithm": algorithm,
+         "kwargs": {k: repr(v) for k, v in sorted((kwargs or {}).items())}},
+        sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ReportCache:
+    """In-memory (and optionally on-disk) store of :class:`SolveReport`."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._mem: dict[str, SolveReport] = {}
+        self._dir: Path | None = None
+        if directory is not None:
+            self._dir = Path(directory)
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def _path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{key}.json"
+
+    def get(self, key: str) -> SolveReport | None:
+        rep = self._mem.get(key)
+        if rep is None and self._dir is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    rep = SolveReport.from_dict(json.loads(path.read_text()))
+                except (ValueError, TypeError, json.JSONDecodeError):
+                    rep = None      # corrupt entry: treat as a miss
+                else:
+                    self._mem[key] = rep
+        if rep is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rep
+
+    def put(self, key: str, report: SolveReport) -> None:
+        self._mem[key] = report
+        if self._dir is not None:
+            path = self._path(key)
+            # per-writer tmp name: concurrent processes storing the same
+            # key must not interleave writes before the atomic rename
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(report.to_dict(), indent=2))
+            os.replace(tmp, path)

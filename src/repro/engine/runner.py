@@ -1,0 +1,203 @@
+"""Batch execution: many instances x many algorithms, in parallel.
+
+:func:`run_batch` is the one run-loop in the repository — the CLI
+``batch``/``compare`` subcommands, the benchmark harness and the analysis
+layer all call it instead of hand-rolling instance/algorithm loops. It
+
+* resolves algorithms through :mod:`repro.registry`,
+* fans tasks out over a ``concurrent.futures`` process pool (``workers=0``
+  runs inline, which the benchmarks use to keep timings honest),
+* enforces a per-run wall-clock timeout via ``SIGALRM`` inside each
+  worker (so a stuck MILP cannot wedge the batch),
+* validates every schedule with :mod:`repro.core.validation` before
+  trusting its makespan, and
+* consults/fills an optional :class:`~repro.engine.cache.ReportCache`
+  keyed by instance content hash.
+
+Every run — success, timeout, infeasibility or crash — yields exactly one
+:class:`~repro.engine.report.SolveReport`; a batch never raises because a
+single cell failed (unknown solver names, a caller bug, still do).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from fractions import Fraction
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.errors import InfeasibleScheduleError, InvalidInstanceError
+from ..core.instance import Instance
+from ..core.validation import validate
+from ..registry import get_solver
+from .cache import ReportCache, cache_key
+from .report import SolveReport
+
+__all__ = ["run_batch", "execute", "DEFAULT_WORKERS"]
+
+#: Default process fan-out; small enough not to oversubscribe CI boxes.
+DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+
+class _TimeoutExceeded(Exception):
+    pass
+
+
+@contextmanager
+def _alarm(seconds: float | None):
+    """Raise :class:`_TimeoutExceeded` after ``seconds`` of wall time.
+
+    Uses ``SIGALRM``, so it only arms on POSIX main threads — exactly
+    where it matters: the pool workers run solver code on their main
+    thread. Elsewhere (Windows, nested threads) it degrades to a no-op.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handle(signum, frame):
+        raise _TimeoutExceeded()
+
+    old = signal.signal(signal.SIGALRM, _handle)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _ratio(makespan, guess) -> float | None:
+    try:
+        if makespan is None or guess is None or Fraction(guess) <= 0:
+            return None
+        return float(Fraction(makespan) / Fraction(guess))
+    except (TypeError, ValueError):
+        return None
+
+
+def execute(inst: Instance, algorithm: str,
+            kwargs: Mapping[str, Any] | None = None, *,
+            label: str = "", timeout: float | None = None) -> SolveReport:
+    """Run one algorithm on one instance; never raises for solver failures."""
+    spec = get_solver(algorithm)        # unknown names fail loudly, pre-run
+    kwargs = dict(kwargs or {})
+    base = dict(algorithm=spec.name, instance_digest=inst.digest(),
+                instance_label=label, variant=spec.variant,
+                proven_ratio=spec.ratio_label)
+    t0 = time.perf_counter()
+
+    def elapsed() -> float:
+        return time.perf_counter() - t0
+
+    try:
+        with _alarm(timeout):
+            raw = spec.solve(inst, **kwargs)
+            if raw.schedule is not None:
+                makespan = validate(inst, raw.schedule)
+                validated = True
+            else:
+                makespan = raw.makespan
+                validated = False
+    except _TimeoutExceeded:
+        return SolveReport(status="timeout", wall_time_s=elapsed(),
+                           error=f"exceeded {timeout:g}s", **base)
+    except (InfeasibleScheduleError, InvalidInstanceError) as exc:
+        return SolveReport(status="infeasible", wall_time_s=elapsed(),
+                           error=str(exc), **base)
+    except Exception as exc:            # noqa: BLE001 — one cell, one report
+        return SolveReport(status="error", wall_time_s=elapsed(),
+                           error=f"{type(exc).__name__}: {exc}", **base)
+    return SolveReport(status="ok", makespan=makespan, guess=raw.guess,
+                       certified_ratio=_ratio(makespan, raw.guess),
+                       wall_time_s=elapsed(), validated=validated,
+                       extra=dict(raw.extra), **base)
+
+
+def _execute_task(task: tuple) -> SolveReport:
+    """Top-level so it pickles into pool workers."""
+    label, inst, name, kwargs, timeout = task
+    return execute(inst, name, kwargs, label=label, timeout=timeout)
+
+
+def _normalize_instances(instances) -> list[tuple[str, Instance]]:
+    out = []
+    for k, item in enumerate(instances):
+        if isinstance(item, Instance):
+            out.append((f"instance-{k}", item))
+        else:
+            label, inst = item
+            out.append((str(label), inst))
+    if not out:
+        raise ValueError("run_batch needs at least one instance")
+    return out
+
+
+def _normalize_algorithms(algorithms) -> list[tuple[str, dict]]:
+    out = []
+    for item in algorithms:
+        if isinstance(item, str):
+            name, kwargs = item, {}
+        else:
+            name, kwargs = item
+        out.append((get_solver(name).name, dict(kwargs or {})))
+    if not out:
+        raise ValueError("run_batch needs at least one algorithm")
+    return out
+
+
+def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
+              algorithms: Sequence[str | tuple[str, Mapping[str, Any]]],
+              *,
+              workers: int | None = None,
+              timeout: float | None = None,
+              cache: ReportCache | None = None) -> list[SolveReport]:
+    """Run every algorithm on every instance; one report per pair.
+
+    Reports come back in deterministic order: instances outermost (in
+    input order), algorithms innermost. ``workers`` > 1 fans out over a
+    process pool; ``0``/``1`` runs inline in this process. ``timeout``
+    bounds each individual run, not the batch. Cached results are
+    returned with ``cached=True`` and cost no solver time; only clean
+    (``ok``/``infeasible``) outcomes are cached — timeouts and crashes
+    are retried on the next batch.
+    """
+    insts = _normalize_instances(instances)
+    algos = _normalize_algorithms(algorithms)
+    if workers is None:
+        workers = DEFAULT_WORKERS
+
+    tasks: list[tuple] = []
+    keys: list[str | None] = []
+    reports: list[SolveReport | None] = []
+    for label, inst in insts:
+        for name, kwargs in algos:
+            key = cache_key(inst, name, kwargs) if cache is not None else None
+            hit = cache.get(key) if cache is not None else None
+            reports.append(hit.as_cached() if hit is not None else None)
+            keys.append(key)
+            tasks.append((label, inst, name, kwargs, timeout))
+
+    pending = [i for i, r in enumerate(reports) if r is None]
+    if workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers,
+                                                 len(pending))) as pool:
+            for i, rep in zip(pending,
+                              pool.map(_execute_task,
+                                       [tasks[i] for i in pending])):
+                reports[i] = rep
+    else:
+        for i in pending:
+            reports[i] = _execute_task(tasks[i])
+
+    if cache is not None:
+        for i in pending:
+            rep = reports[i]
+            if rep.status in ("ok", "infeasible"):
+                cache.put(keys[i], rep)
+    return reports      # type: ignore[return-value]

@@ -31,6 +31,12 @@ __all__ = [
 
 
 def _frac_str(x: Fraction) -> str | int:
+    """The repository-wide exact-rational wire encoding ("num/den").
+
+    Shared by the schedule serialisers here and the engine's
+    :class:`~repro.engine.report.SolveReport` — keep the two formats
+    identical by changing only this pair of helpers.
+    """
     x = Fraction(x)
     return int(x) if x.denominator == 1 else f"{x.numerator}/{x.denominator}"
 

@@ -1,0 +1,331 @@
+"""Declarative solver registry — the single dispatch point for every
+surface (CLI, engine, benchmarks, analysis, examples).
+
+Each algorithm registers once with its metadata: problem ``variant``
+(splittable / preemptive / non-preemptive), its *proven* approximation
+ratio (with the theorem it comes from), the keyword arguments it accepts,
+and whether it pulls in the SciPy/HiGHS MILP backend. Consumers resolve
+solvers by name::
+
+    from repro.registry import get_solver, list_solvers
+
+    spec = get_solver("nonpreemptive")
+    raw = spec.solve(inst)              # -> RawSolve(schedule, guess, ...)
+    for spec in list_solvers(variant="splittable"):
+        print(spec.name, spec.ratio_label)
+
+Adding a new algorithm is one ``register(...)`` call — the CLI ``list`` /
+``batch`` / ``compare`` subcommands, the execution engine, and the README
+algorithm table pick it up automatically.
+
+Solver callables are wrapped lazily where they would drag in heavy
+dependencies (the PTASes and exact MILPs import SciPy only when first
+run), so ``import repro.registry`` stays light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Iterable
+
+from .core.bounds import nonpreemptive_lower_bound
+from .core.errors import CCSError
+from .core.instance import Instance
+
+__all__ = [
+    "RawSolve",
+    "SolverSpec",
+    "UnknownSolverError",
+    "get_solver",
+    "list_solvers",
+    "register",
+    "solver_names",
+]
+
+VARIANTS = ("splittable", "preemptive", "nonpreemptive")
+KINDS = ("approx", "ptas", "exact", "baseline")
+
+
+class UnknownSolverError(CCSError, KeyError):
+    """Raised when a solver name does not resolve in the registry."""
+
+
+@dataclass(frozen=True)
+class RawSolve:
+    """What a registered solver callable returns, before the execution
+    engine normalises it into a :class:`~repro.engine.report.SolveReport`.
+
+    ``schedule`` is ``None`` for value-only solvers (the exact MILPs),
+    in which case ``makespan`` carries the optimum directly. ``guess`` is
+    the solver's certified reference value ``T`` (a lower bound on OPT for
+    the constant-factor algorithms), so ``makespan / guess`` is an
+    *a posteriori* ratio certificate.
+    """
+
+    schedule: Any | None
+    guess: Fraction | int | float | None
+    makespan: Fraction | int | float | None = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Registry entry: one algorithm plus its metadata."""
+
+    name: str
+    variant: str                      # which CCS variant it schedules
+    kind: str                         # approx | ptas | exact | baseline
+    ratio: Fraction | None            # proven ratio; None = no guarantee
+    ratio_label: str                  # human form: "2", "7/3", "1+eps", "-"
+    theorem: str                      # provenance in the paper ("" if none)
+    summary: str
+    run: Callable[..., RawSolve]
+    accepts: tuple[str, ...] = ()     # accepted keyword arguments
+    needs_milp: bool = False          # pulls in the SciPy/HiGHS backend
+
+    def solve(self, inst: Instance, **kwargs: Any) -> RawSolve:
+        """Run the solver, rejecting kwargs it does not accept."""
+        unknown = sorted(set(kwargs) - set(self.accepts))
+        if unknown:
+            raise TypeError(
+                f"solver {self.name!r} does not accept {unknown}; "
+                f"accepted kwargs: {sorted(self.accepts) or 'none'}")
+        return self.run(inst, **kwargs)
+
+
+_REGISTRY: dict[str, SolverSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register(spec: SolverSpec, aliases: Iterable[str] = ()) -> SolverSpec:
+    """Add a solver to the registry (idempotent per unique name)."""
+    if spec.variant not in VARIANTS:
+        raise ValueError(f"unknown variant {spec.variant!r}")
+    if spec.kind not in KINDS:
+        raise ValueError(f"unknown kind {spec.kind!r}")
+    if spec.name in _REGISTRY or spec.name in _ALIASES:
+        raise ValueError(f"solver {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    for alias in aliases:
+        if alias in _REGISTRY or alias in _ALIASES:
+            raise ValueError(f"alias {alias!r} already registered")
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def get_solver(name: str) -> SolverSpec:
+    """Resolve ``name`` (or a registered alias) to its :class:`SolverSpec`."""
+    key = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownSolverError(
+            f"unknown solver {name!r}; registered: "
+            f"{', '.join(solver_names())}") from None
+
+
+def list_solvers(variant: str | None = None,
+                 kind: str | None = None) -> list[SolverSpec]:
+    """All registered solvers, optionally filtered, in registration order."""
+    specs = list(_REGISTRY.values())
+    if variant is not None:
+        specs = [s for s in specs if s.variant == variant]
+    if kind is not None:
+        specs = [s for s in specs if s.kind == kind]
+    return specs
+
+
+def solver_names(include_aliases: bool = False) -> list[str]:
+    names = list(_REGISTRY)
+    if include_aliases:
+        names += list(_ALIASES)
+    return names
+
+
+# --------------------------------------------------------------------- #
+# adapters: normalise every solver family onto RawSolve
+# --------------------------------------------------------------------- #
+
+def _run_splittable(inst: Instance) -> RawSolve:
+    from .approx.splittable import solve_splittable
+    res = solve_splittable(inst)
+    return RawSolve(res.schedule, res.guess)
+
+
+def _run_preemptive(inst: Instance) -> RawSolve:
+    from .approx.preemptive import solve_preemptive
+    res = solve_preemptive(inst)
+    return RawSolve(res.schedule, res.guess,
+                    extra={"optimal": res.optimal})
+
+
+def _run_nonpreemptive(inst: Instance) -> RawSolve:
+    from .approx.nonpreemptive import solve_nonpreemptive
+    res = solve_nonpreemptive(inst)
+    return RawSolve(res.schedule, res.guess)
+
+
+def _ptas_adapter(impl_name: str) -> Callable[..., RawSolve]:
+    def run(inst: Instance, **kwargs: Any) -> RawSolve:
+        import importlib
+        module = importlib.import_module(
+            f".ptas.{impl_name.split('_', 1)[1]}", __package__)
+        res = getattr(module, impl_name)(inst, **kwargs)
+        return RawSolve(res.schedule, res.guess,
+                        extra={"epsilon": str(res.epsilon),
+                               "delta": str(res.delta),
+                               "guesses_tried": res.guesses_tried})
+    return run
+
+
+def _run_lpt(inst: Instance) -> RawSolve:
+    from .baselines.list_scheduling import lpt_class_schedule
+    return RawSolve(lpt_class_schedule(inst), nonpreemptive_lower_bound(inst))
+
+
+def _run_greedy(inst: Instance) -> RawSolve:
+    from .baselines.list_scheduling import greedy_list_schedule
+    return RawSolve(greedy_list_schedule(inst),
+                    nonpreemptive_lower_bound(inst))
+
+
+def _run_ffd(inst: Instance) -> RawSolve:
+    from .baselines.bin_packing import ffd_binary_search_schedule
+    return RawSolve(ffd_binary_search_schedule(inst),
+                    nonpreemptive_lower_bound(inst))
+
+
+def _run_round_robin(inst: Instance) -> RawSolve:
+    """Whole-class round robin: classes in non-ascending load order,
+    cyclically over the machines. The natural zero-thought baseline; it
+    ignores the slot budget, so on slot-scarce instances validation fails
+    and the engine reports the run as infeasible."""
+    from .approx.round_robin import round_robin_assignment
+    from .core.schedule import NonPreemptiveSchedule
+    norm = inst.normalized()
+    rows = round_robin_assignment(norm.class_loads(), norm.machines)
+    sched = NonPreemptiveSchedule(norm.num_jobs, norm.machines)
+    for i, classes_on_i in enumerate(rows):
+        for u in classes_on_i:
+            for j in norm.jobs_of_class(u):
+                sched.assign(j, i)
+    return RawSolve(sched, nonpreemptive_lower_bound(norm))
+
+
+def _run_mcnaughton(inst: Instance) -> RawSolve:
+    from .baselines.mcnaughton import mcnaughton_makespan, mcnaughton_schedule
+    return RawSolve(mcnaughton_schedule(inst), mcnaughton_makespan(inst))
+
+
+def _milp_adapter(fn_name: str) -> Callable[[Instance], RawSolve]:
+    def run(inst: Instance) -> RawSolve:
+        from . import exact
+        value = getattr(exact, fn_name)(inst)
+        return RawSolve(None, value, makespan=value)
+    return run
+
+
+def _run_brute_force(inst: Instance) -> RawSolve:
+    from .exact.brute_force import opt_nonpreemptive_bruteforce
+    value, sched = opt_nonpreemptive_bruteforce(inst, return_schedule=True)
+    return RawSolve(sched, value)
+
+
+# --------------------------------------------------------------------- #
+# registrations
+# --------------------------------------------------------------------- #
+
+register(SolverSpec(
+    name="splittable", variant="splittable", kind="approx",
+    ratio=Fraction(2), ratio_label="2", theorem="Theorem 4",
+    summary="Advanced border search + class splitting + round robin",
+    run=_run_splittable))
+
+register(SolverSpec(
+    name="preemptive", variant="preemptive", kind="approx",
+    ratio=Fraction(2), ratio_label="2", theorem="Theorem 5",
+    summary="Splittable layout legalised into a preemptive timetable",
+    run=_run_preemptive))
+
+register(SolverSpec(
+    name="nonpreemptive", variant="nonpreemptive", kind="approx",
+    ratio=Fraction(7, 3), ratio_label="7/3", theorem="Theorem 6",
+    summary="Slot-counting binary search + per-class LPT groups",
+    run=_run_nonpreemptive))
+
+register(SolverSpec(
+    name="ptas-splittable", variant="splittable", kind="ptas",
+    ratio=None, ratio_label="1+eps", theorem="Theorems 10/11",
+    summary="Configuration MILP over rounded class modules",
+    run=_ptas_adapter("ptas_splittable"),
+    accepts=("epsilon", "delta", "theorem11"), needs_milp=True))
+
+register(SolverSpec(
+    name="ptas-preemptive", variant="preemptive", kind="ptas",
+    ratio=None, ratio_label="1+eps", theorem="Theorem 19",
+    summary="Configuration MILP + wrap-around legalisation",
+    run=_ptas_adapter("ptas_preemptive"),
+    accepts=("epsilon", "delta"), needs_milp=True))
+
+register(SolverSpec(
+    name="ptas-nonpreemptive", variant="nonpreemptive", kind="ptas",
+    ratio=None, ratio_label="1+eps", theorem="Theorem 14",
+    summary="Rounded job sizes + configuration MILP",
+    run=_ptas_adapter("ptas_nonpreemptive"),
+    accepts=("epsilon", "delta"), needs_milp=True))
+
+register(SolverSpec(
+    name="milp-nonpreemptive", variant="nonpreemptive", kind="exact",
+    ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
+    summary="Assignment MILP (ground truth for small instances)",
+    run=_milp_adapter("opt_nonpreemptive"), needs_milp=True),
+    aliases=("milp",))
+
+register(SolverSpec(
+    name="milp-splittable", variant="splittable", kind="exact",
+    ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
+    summary="Per-class fluid MILP (ground truth for small instances)",
+    run=_milp_adapter("opt_splittable"), needs_milp=True))
+
+register(SolverSpec(
+    name="milp-preemptive", variant="preemptive", kind="exact",
+    ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
+    summary="Per-job fluid MILP (ground truth for small instances)",
+    run=_milp_adapter("opt_preemptive"), needs_milp=True))
+
+register(SolverSpec(
+    name="brute-force", variant="nonpreemptive", kind="exact",
+    ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
+    summary="Branch-and-bound DFS for micro instances (n <= ~10)",
+    run=_run_brute_force))
+
+register(SolverSpec(
+    name="lpt", variant="nonpreemptive", kind="baseline",
+    ratio=None, ratio_label="-", theorem="",
+    summary="Class-aware LPT list scheduling (no guarantee)",
+    run=_run_lpt))
+
+register(SolverSpec(
+    name="greedy", variant="nonpreemptive", kind="baseline",
+    ratio=None, ratio_label="-", theorem="",
+    summary="Least-loaded feasible machine, jobs in input order",
+    run=_run_greedy))
+
+register(SolverSpec(
+    name="ffd", variant="nonpreemptive", kind="baseline",
+    ratio=None, ratio_label="-", theorem="",
+    summary="First-fit-decreasing bin packing + binary search on T",
+    run=_run_ffd))
+
+register(SolverSpec(
+    name="round-robin", variant="nonpreemptive", kind="baseline",
+    ratio=None, ratio_label="-", theorem="",
+    summary="Whole-class round robin (may violate slot budget)",
+    run=_run_round_robin))
+
+register(SolverSpec(
+    name="mcnaughton", variant="preemptive", kind="baseline",
+    ratio=None, ratio_label="1 (if c >= C)", theorem="",
+    summary="Wrap-around rule; optimal when classes never bind",
+    run=_run_mcnaughton))

@@ -1,0 +1,149 @@
+"""Tests for the registry-driven CLI: list / batch / compare, and the
+clear-message handling of malformed instance files."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.engine import SolveReport
+
+
+@pytest.fixture
+def inst_paths(tmp_path):
+    paths = []
+    for seed, n in ((1, 16), (2, 20)):
+        path = str(tmp_path / f"inst{seed}.json")
+        assert main(["generate", "--n", str(n), "--classes", "4",
+                     "--machines", "3", "--slots", "2",
+                     "--seed", str(seed), "-o", path]) == 0
+        paths.append(path)
+    return paths
+
+
+class TestList:
+    def test_lists_all_solvers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("splittable", "nonpreemptive", "ptas-preemptive",
+                     "brute-force", "ffd"):
+            assert name in out
+        assert "7/3" in out          # ratio metadata is shown
+
+    def test_variant_filter(self, capsys):
+        assert main(["list", "--variant", "splittable"]) == 0
+        out = capsys.readouterr().out
+        assert "ptas-splittable" in out
+        assert "nonpreemptive" not in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["list", "--kind", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "lpt" in out and "ptas" not in out
+
+
+class TestBatch:
+    def test_json_report(self, inst_paths, tmp_path, capsys):
+        out_path = str(tmp_path / "report.json")
+        assert main(["batch", *inst_paths,
+                     "--algorithms", "splittable,nonpreemptive,ffd",
+                     "--workers", "2", "-o", out_path]) == 0
+        payload = json.load(open(out_path))
+        reports = [SolveReport.from_dict(d) for d in payload["reports"]]
+        assert len(reports) == 2 * 3      # instances x algorithms
+        assert {r.algorithm for r in reports} == \
+            {"splittable", "nonpreemptive", "ffd"}
+        assert all(r.ok for r in reports)
+        table = capsys.readouterr().err
+        assert "splittable" in table      # human table on stderr
+
+    def test_csv_report(self, inst_paths, capsys):
+        assert main(["batch", inst_paths[0],
+                     "--algorithms", "splittable,ptas-splittable",
+                     "--delta", "2", "--workers", "0",
+                     "--format", "csv"]) == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert rows[0]["algorithm"] == "splittable"
+        assert rows[0]["status"] == "ok"
+        # solver extras survive as a JSON-encoded column
+        assert json.loads(rows[1]["extra"])["delta"] == "1/2"
+
+    def test_cache_dir(self, inst_paths, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["batch", inst_paths[0], "--algorithms", "nonpreemptive",
+                "--workers", "0", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0            # second run served from disk
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reports"][0]["cached"] is True
+
+    def test_unknown_algorithm(self, inst_paths):
+        with pytest.raises(SystemExit, match="unknown solver"):
+            main(["batch", inst_paths[0], "--algorithms", "nope"])
+
+
+class TestCompare:
+    def test_table_and_winner(self, inst_paths, capsys):
+        assert main(["compare", inst_paths[0],
+                     "--algorithms", "splittable,nonpreemptive,greedy,ffd"
+                     ]) == 0
+        out = capsys.readouterr().out
+        assert "best makespan" in out
+        assert "ffd" in out
+
+
+class TestSolveViaRegistry:
+    def test_any_registered_name_works(self, inst_paths, capsys):
+        assert main(["solve", inst_paths[0], "--algorithm", "ffd"]) == 0
+        assert "certified" in capsys.readouterr().err
+
+    def test_value_only_solver_cannot_emit(self, inst_paths):
+        with pytest.raises(SystemExit, match="no schedule to emit"):
+            main(["solve", inst_paths[0], "--algorithm",
+                  "milp-nonpreemptive", "--emit"])
+
+    def test_infeasible_schedule_is_clear_error(self, tmp_path):
+        # slot-scarce (C=6 > c*m=2): round-robin's schedule fails
+        # validation; the CLI must exit with a message, not a traceback
+        path = str(tmp_path / "scarce.json")
+        assert main(["generate", "--n", "16", "--classes", "6",
+                     "--machines", "2", "--slots", "1", "--seed", "0",
+                     "-o", path]) == 0
+        with pytest.raises(SystemExit, match="round-robin failed"):
+            main(["solve", path, "--algorithm", "round-robin"])
+
+
+class TestMalformedInstanceMessages:
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["solve", "/nonexistent/inst.json"])
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["solve", str(bad)])
+
+    def test_missing_field(self, tmp_path):
+        partial = tmp_path / "partial.json"
+        partial.write_text(json.dumps({"processing_times": [3, 4]}))
+        with pytest.raises(SystemExit, match="missing required instance "
+                                             "field 'classes'"):
+            main(["bounds", str(partial)])
+
+    def test_invalid_instance_values(self, tmp_path):
+        bad = tmp_path / "neg.json"
+        bad.write_text(json.dumps({"processing_times": [-3],
+                                   "classes": [0], "machines": 1,
+                                   "class_slots": 1}))
+        with pytest.raises(SystemExit, match="not a valid instance"):
+            main(["solve", str(bad)])
+
+    def test_batch_checks_every_file(self, inst_paths, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1,2,")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["batch", inst_paths[0], str(bad)])

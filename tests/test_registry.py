@@ -1,0 +1,101 @@
+"""Tests for the declarative solver registry."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance
+from repro.registry import (RawSolve, SolverSpec, UnknownSolverError,
+                            get_solver, list_solvers, register, solver_names)
+
+#: Every name the registry must resolve (the CLI/engine contract).
+EXPECTED_NAMES = [
+    "splittable", "preemptive", "nonpreemptive",
+    "ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive",
+    "milp-nonpreemptive", "milp-splittable", "milp-preemptive",
+    "brute-force", "lpt", "greedy", "ffd", "round-robin", "mcnaughton",
+]
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    # c >= C, so even the class-oblivious baselines are feasible
+    return Instance((3, 4, 5, 6), (0, 1, 0, 1), 2, 2)
+
+
+class TestResolution:
+    def test_all_expected_names_resolve(self):
+        for name in EXPECTED_NAMES:
+            assert get_solver(name).name == name
+
+    def test_registry_has_no_strays(self):
+        assert sorted(solver_names()) == sorted(EXPECTED_NAMES)
+
+    def test_milp_alias(self):
+        assert get_solver("milp").name == "milp-nonpreemptive"
+        assert "milp" in solver_names(include_aliases=True)
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownSolverError, match="no-such-solver"):
+            get_solver("no-such-solver")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_solver("lpt")
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)
+
+
+class TestMetadata:
+    def test_ratios_match_theorems(self):
+        # Theorems 4, 5, 6 of conf_spaa_JansenLM20
+        assert get_solver("splittable").ratio == Fraction(2)
+        assert get_solver("preemptive").ratio == Fraction(2)
+        assert get_solver("nonpreemptive").ratio == Fraction(7, 3)
+        assert get_solver("splittable").theorem == "Theorem 4"
+        assert get_solver("preemptive").theorem == "Theorem 5"
+        assert get_solver("nonpreemptive").theorem == "Theorem 6"
+
+    def test_exact_solvers_have_ratio_one(self):
+        for spec in list_solvers(kind="exact"):
+            assert spec.ratio == Fraction(1)
+
+    def test_ptas_schemes_have_no_fixed_ratio(self):
+        for spec in list_solvers(kind="ptas"):
+            assert spec.ratio is None
+            assert spec.ratio_label == "1+eps"
+            assert spec.needs_milp
+            assert "delta" in spec.accepts
+
+    def test_baselines_have_no_guarantee(self):
+        for spec in list_solvers(kind="baseline"):
+            assert spec.ratio is None
+
+    def test_variant_filter(self):
+        for variant in ("splittable", "preemptive", "nonpreemptive"):
+            specs = list_solvers(variant=variant)
+            assert specs, variant
+            assert all(s.variant == variant for s in specs)
+        assert len(list_solvers(variant="splittable", kind="approx")) == 1
+
+
+class TestSolving:
+    @pytest.mark.parametrize("name", EXPECTED_NAMES)
+    def test_every_solver_runs(self, name, tiny_instance):
+        spec = get_solver(name)
+        kwargs = {"delta": 2} if "delta" in spec.accepts else {}
+        raw = spec.solve(tiny_instance, **kwargs)
+        assert isinstance(raw, RawSolve)
+        if raw.schedule is None:        # value-only exact solvers
+            assert raw.makespan is not None
+        assert raw.guess is not None
+
+    def test_unknown_kwarg_rejected(self, tiny_instance):
+        with pytest.raises(TypeError, match="does not accept"):
+            get_solver("splittable").solve(tiny_instance, delta=2)
+
+    def test_register_validates_variant_and_kind(self):
+        bad = SolverSpec(name="x", variant="nope", kind="approx",
+                         ratio=None, ratio_label="-", theorem="",
+                         summary="", run=lambda inst: None)
+        with pytest.raises(ValueError, match="unknown variant"):
+            register(bad)
