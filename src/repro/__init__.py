@@ -24,8 +24,12 @@ Public API highlights
   :func:`repro.engine.run_batch` fans instances x algorithms out over a
   process pool with per-run timeouts and content-hash caching, returning
   one frozen :class:`repro.engine.SolveReport` per run.
+* :mod:`repro.service` — scheduling-as-a-service: a persistent job
+  queue + HTTP/JSON API over the engine (``repro serve``), with a
+  SQLite store that survives restarts and doubles as a cross-client
+  result cache, and :class:`repro.service.ServiceClient` to talk to it.
 * :mod:`repro.exact` — exact optima for small instances (ground truth).
-* :mod:`repro.workloads` — synthetic workload generators.
+* :mod:`repro.workloads` — synthetic workload generators and suites.
 * :mod:`repro.nfold` — the N-fold integer programming substrate.
 
 Quickstart

@@ -9,6 +9,8 @@ Subcommands::
     compare  run several algorithms on one instance, print a table
     bounds   print the certified lower/upper bounds for an instance
     generate emit a synthetic instance as JSON
+    serve    run the persistent scheduling service (HTTP/JSON API)
+    submit   send instances to a running service, optionally wait
 
 Examples::
 
@@ -19,6 +21,9 @@ Examples::
     python -m repro batch a.json b.json \
         --algorithms splittable,nonpreemptive,lpt --workers 4 -o report.json
     python -m repro compare inst.json --algorithms splittable,ffd,greedy
+    python -m repro serve --port 8080 --db jobs.db --drainers 4
+    python -m repro submit inst.json --url http://127.0.0.1:8080 \
+        --algorithms splittable,lpt --wait
 
 Algorithm dispatch goes through :mod:`repro.registry`; adding a solver
 there makes it available to every subcommand with no CLI changes.
@@ -186,6 +191,39 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+    serve(args.db, host=args.host, port=args.port, drainers=args.drainers,
+          engine_workers=args.engine_workers,
+          default_timeout=args.timeout, quiet=args.quiet)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+    algos = _resolve_algorithms(args.algorithms, args.delta)
+    client = ServiceClient(args.url)
+    job_ids = []
+    try:
+        for path in args.instances:
+            inst = _load_instance_checked(path)
+            job = client.submit(inst, algos, label=path,
+                                priority=args.priority, timeout=args.timeout)
+            job_ids.append(job["id"])
+            print(f"submitted {path} as job {job['id']}", file=sys.stderr)
+        if not args.wait:
+            print(json.dumps({"job_ids": job_ids}))
+            return 0
+        reports = []
+        for job_id in job_ids:
+            reports.extend(client.wait(job_id, timeout=args.wait_timeout))
+    except (ServiceError, TimeoutError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(json.dumps({"reports": [r.to_dict() for r in reports]}, indent=2))
+    print(render_reports(reports), file=sys.stderr)
+    return 1 if any(r.status == "error" for r in reports) else 0
+
+
 _GENERATORS = {
     "uniform": uniform_instance,
     "zipf": zipf_instance,
@@ -280,6 +318,45 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument("--seed", type=int, default=0)
     pg.add_argument("-o", "--output")
     pg.set_defaults(func=_cmd_generate)
+
+    pe = sub.add_parser(
+        "serve", help="run the persistent scheduling service")
+    pe.add_argument("--host", default="127.0.0.1")
+    pe.add_argument("--port", type=int, default=8080)
+    pe.add_argument("--db", default="repro-jobs.db",
+                    help="SQLite file for jobs/reports/result cache "
+                         "(jobs survive restarts)")
+    pe.add_argument("--drainers", type=int, default=2,
+                    help="queue worker threads consuming jobs")
+    pe.add_argument("--engine-workers", type=int, default=0,
+                    help="process fan-out per job (0 solves inline on "
+                         "the drainer thread)")
+    pe.add_argument("--timeout", type=float, default=None,
+                    help="default per-run timeout for jobs without one")
+    pe.add_argument("--quiet", action="store_true",
+                    help="suppress per-request access logging")
+    pe.set_defaults(func=_cmd_serve)
+
+    pu = sub.add_parser(
+        "submit", help="submit instances to a running service")
+    pu.add_argument("instances", nargs="+", help="instance JSON files")
+    pu.add_argument("--url", default="http://127.0.0.1:8080",
+                    help="base URL of a `repro serve` endpoint")
+    pu.add_argument("--algorithms",
+                    default="splittable,preemptive,nonpreemptive",
+                    help="comma-separated registry names")
+    pu.add_argument("--delta", type=int, default=None,
+                    help="PTAS accuracy q (delta = 1/q), forwarded to any "
+                         "PTAS in --algorithms")
+    pu.add_argument("--priority", type=int, default=0,
+                    help="higher runs first")
+    pu.add_argument("--timeout", type=float, default=None,
+                    help="per-run timeout applied server-side")
+    pu.add_argument("--wait", action="store_true",
+                    help="poll until done and print the reports")
+    pu.add_argument("--wait-timeout", type=float, default=300.0,
+                    help="give up waiting after this many seconds")
+    pu.set_defaults(func=_cmd_submit)
     return p
 
 

@@ -5,6 +5,12 @@ solver name and its canonicalised kwargs, so a cache survives relabelling
 and reordering of batches. The cache is in-memory by default; give it a
 directory to persist reports as one JSON file per key (safe to share
 between processes — writes go through a same-directory rename).
+
+The in-memory layer is bounded (``max_entries``, LRU eviction) and every
+operation takes an internal lock, so one cache can safely back a
+long-running multi-threaded service such as :mod:`repro.service` without
+growing without bound or racing between threads. Disk entries are never
+evicted — the directory is the durable layer, the dict is a hot set.
 """
 
 from __future__ import annotations
@@ -12,13 +18,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.instance import Instance
 from .report import SolveReport
 
-__all__ = ["ReportCache", "cache_key"]
+__all__ = ["ReportCache", "cache_key", "DEFAULT_MAX_ENTRIES"]
+
+#: Default in-memory bound: large enough for any one experiment sweep,
+#: small enough that a service holding ~1-2 KiB reports stays in the MBs.
+DEFAULT_MAX_ENTRIES = 4096
 
 
 def cache_key(inst: Instance, algorithm: str,
@@ -32,10 +44,20 @@ def cache_key(inst: Instance, algorithm: str,
 
 
 class ReportCache:
-    """In-memory (and optionally on-disk) store of :class:`SolveReport`."""
+    """Bounded, thread-safe store of :class:`SolveReport`.
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
-        self._mem: dict[str, SolveReport] = {}
+    ``max_entries`` caps the in-memory dict only (least-recently-*used*
+    entry evicted first); ``None`` disables the bound for short-lived
+    batch runs that want every report resident.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._mem: OrderedDict[str, SolveReport] = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
         self._dir: Path | None = None
         if directory is not None:
             self._dir = Path(directory)
@@ -44,35 +66,60 @@ class ReportCache:
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._mem)
+        with self._lock:
+            return len(self._mem)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def _path(self, key: str) -> Path:
         assert self._dir is not None
         return self._dir / f"{key}.json"
 
     def get(self, key: str) -> SolveReport | None:
-        rep = self._mem.get(key)
-        if rep is None and self._dir is not None:
+        with self._lock:
+            rep = self._mem.get(key)
+            if rep is not None:
+                self._mem.move_to_end(key)
+                self.hits += 1
+                return rep
+        # Disk probe outside the lock: file IO must not serialise every
+        # thread, and a racing double-read just loads the same JSON twice.
+        if self._dir is not None:
             path = self._path(key)
             if path.exists():
                 try:
                     rep = SolveReport.from_dict(json.loads(path.read_text()))
                 except (ValueError, TypeError, json.JSONDecodeError):
                     rep = None      # corrupt entry: treat as a miss
-                else:
-                    self._mem[key] = rep
-        if rep is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if rep is None:
+                self.misses += 1
+            else:
+                self._store(key, rep)
+                self.hits += 1
         return rep
 
-    def put(self, key: str, report: SolveReport) -> None:
+    def _store(self, key: str, report: SolveReport) -> None:
+        # caller holds self._lock
         self._mem[key] = report
+        self._mem.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._mem) > self.max_entries:
+                self._mem.popitem(last=False)
+
+    def put(self, key: str, report: SolveReport) -> None:
+        with self._lock:
+            self._store(key, report)
         if self._dir is not None:
             path = self._path(key)
-            # per-writer tmp name: concurrent processes storing the same
-            # key must not interleave writes before the atomic rename
-            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            # per-writer tmp name: concurrent threads/processes storing the
+            # same key must not interleave writes before the atomic rename
+            tmp = path.with_suffix(
+                f".{os.getpid()}.{threading.get_ident()}.tmp")
             tmp.write_text(json.dumps(report.to_dict(), indent=2))
             os.replace(tmp, path)

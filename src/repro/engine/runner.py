@@ -1,18 +1,22 @@
 """Batch execution: many instances x many algorithms, in parallel.
 
 :func:`run_batch` is the one run-loop in the repository — the CLI
-``batch``/``compare`` subcommands, the benchmark harness and the analysis
-layer all call it instead of hand-rolling instance/algorithm loops. It
+``batch``/``compare`` subcommands, the scheduling service, the benchmark
+harness and the analysis layer all call it instead of hand-rolling
+instance/algorithm loops. It
 
 * resolves algorithms through :mod:`repro.registry`,
 * fans tasks out over a ``concurrent.futures`` process pool (``workers=0``
   runs inline, which the benchmarks use to keep timings honest),
-* enforces a per-run wall-clock timeout via ``SIGALRM`` inside each
-  worker (so a stuck MILP cannot wedge the batch),
+* enforces a per-run wall-clock timeout — ``SIGALRM`` where available
+  (POSIX main threads, i.e. the pool workers), a watchdog-thread fallback
+  everywhere else (Windows, service queue drainers),
 * validates every schedule with :mod:`repro.core.validation` before
-  trusting its makespan, and
+  trusting its makespan,
 * consults/fills an optional :class:`~repro.engine.cache.ReportCache`
-  keyed by instance content hash.
+  keyed by instance content hash, and
+* solves each distinct (instance, algorithm, kwargs) cell once per batch,
+  even when the grid repeats it.
 
 Every run — success, timeout, infeasibility or crash — yields exactly one
 :class:`~repro.engine.report.SolveReport`; a batch never raises because a
@@ -21,14 +25,16 @@ single cell failed (unknown solver names, a caller bug, still do).
 
 from __future__ import annotations
 
+import ctypes
 import os
 import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
+from dataclasses import replace
 from fractions import Fraction
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..core.errors import InfeasibleScheduleError, InvalidInstanceError
 from ..core.instance import Instance
@@ -47,16 +53,19 @@ class _TimeoutExceeded(Exception):
     pass
 
 
+def _alarm_usable() -> bool:
+    return hasattr(signal, "SIGALRM") and \
+        threading.current_thread() is threading.main_thread()
+
+
 @contextmanager
 def _alarm(seconds: float | None):
     """Raise :class:`_TimeoutExceeded` after ``seconds`` of wall time.
 
-    Uses ``SIGALRM``, so it only arms on POSIX main threads — exactly
-    where it matters: the pool workers run solver code on their main
-    thread. Elsewhere (Windows, nested threads) it degrades to a no-op.
+    Uses ``SIGALRM``, so it only arms on POSIX main threads — which covers
+    the pool workers: they run solver code on their main thread.
     """
-    if not seconds or not hasattr(signal, "SIGALRM") \
-            or threading.current_thread() is not threading.main_thread():
+    if not seconds or not _alarm_usable():
         yield
         return
 
@@ -70,6 +79,50 @@ def _alarm(seconds: float | None):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, old)
+
+
+def _call_with_timeout(fn: Callable[[], Any], seconds: float | None) -> Any:
+    """Run ``fn()``, raising :class:`_TimeoutExceeded` after ``seconds``.
+
+    On a POSIX main thread this is the cheap ``SIGALRM`` path. Anywhere
+    signals cannot arm — Windows, and crucially the service's queue
+    drainer threads running inline solves — the call moves to a daemon
+    worker thread that is joined with a deadline. On expiry the caller
+    gets a real timeout report immediately; the runaway solve is then
+    asked to die via ``PyThreadState_SetAsyncExc`` (best effort — pure
+    Python solver loops honour it at the next bytecode boundary, a solve
+    stuck inside a C extension finishes its call first and the exception
+    lands on return).
+    """
+    if not seconds:
+        return fn()
+    if _alarm_usable():
+        with _alarm(seconds):
+            return fn()
+
+    outcome: dict[str, Any] = {}
+    done = threading.Event()
+
+    def _target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:    # noqa: BLE001 — re-raised below
+            outcome["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=_target, daemon=True,
+                              name="repro-solve-timeout")
+    worker.start()
+    if not done.wait(seconds):
+        if worker.ident is not None:
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(worker.ident),
+                ctypes.py_object(_TimeoutExceeded))
+        raise _TimeoutExceeded()
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
 
 
 def _ratio(makespan, guess) -> float | None:
@@ -95,15 +148,15 @@ def execute(inst: Instance, algorithm: str,
     def elapsed() -> float:
         return time.perf_counter() - t0
 
+    def _solve_and_validate():
+        raw = spec.solve(inst, **kwargs)
+        if raw.schedule is not None:
+            return raw, validate(inst, raw.schedule), True
+        return raw, raw.makespan, False
+
     try:
-        with _alarm(timeout):
-            raw = spec.solve(inst, **kwargs)
-            if raw.schedule is not None:
-                makespan = validate(inst, raw.schedule)
-                validated = True
-            else:
-                makespan = raw.makespan
-                validated = False
+        raw, makespan, validated = _call_with_timeout(_solve_and_validate,
+                                                      timeout)
     except _TimeoutExceeded:
         return SolveReport(status="timeout", wall_time_s=elapsed(),
                            error=f"exceeded {timeout:g}s", **base)
@@ -165,7 +218,10 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
     bounds each individual run, not the batch. Cached results are
     returned with ``cached=True`` and cost no solver time; only clean
     (``ok``/``infeasible``) outcomes are cached — timeouts and crashes
-    are retried on the next batch.
+    are retried on the next batch. Cells that repeat an identical
+    (instance content, algorithm, kwargs) triple within one batch are
+    solved once; the duplicates share the first cell's report (marked
+    ``cached=True``, relabelled per cell).
     """
     insts = _normalize_instances(instances)
     algos = _normalize_algorithms(algorithms)
@@ -173,17 +229,26 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
         workers = DEFAULT_WORKERS
 
     tasks: list[tuple] = []
-    keys: list[str | None] = []
+    keys: list[str] = []
     reports: list[SolveReport | None] = []
+    first_index: dict[str, int] = {}    # intra-batch dedup: key -> cell
+    dup_of: dict[int, int] = {}
     for label, inst in insts:
         for name, kwargs in algos:
-            key = cache_key(inst, name, kwargs) if cache is not None else None
+            i = len(tasks)
+            key = cache_key(inst, name, kwargs)
             hit = cache.get(key) if cache is not None else None
             reports.append(hit.as_cached() if hit is not None else None)
             keys.append(key)
             tasks.append((label, inst, name, kwargs, timeout))
+            if hit is None:
+                if key in first_index:
+                    dup_of[i] = first_index[key]
+                else:
+                    first_index[key] = i
 
-    pending = [i for i, r in enumerate(reports) if r is None]
+    pending = [i for i, r in enumerate(reports)
+               if r is None and i not in dup_of]
     if workers > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=min(workers,
                                                  len(pending))) as pool:
@@ -194,6 +259,10 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
     else:
         for i in pending:
             reports[i] = _execute_task(tasks[i])
+
+    for i, src in dup_of.items():
+        reports[i] = replace(reports[src], cached=True,
+                             instance_label=tasks[i][0], wall_time_s=0.0)
 
     if cache is not None:
         for i in pending:

@@ -1,0 +1,25 @@
+"""Scheduling-as-a-service: a persistent job queue + HTTP API wrapping
+the batch execution engine.
+
+The subsystem turns the repository from a CLI into a long-running
+server: clients submit class-constrained scheduling work over HTTP,
+poll it, and share solved results through a digest-indexed report store
+that survives restarts.
+
+* :class:`~repro.service.store.JobStore` — SQLite persistence for jobs,
+  their reports and the cross-client result cache.
+* :class:`~repro.service.queue.JobQueue` — thread-safe priority queue
+  draining into :func:`repro.engine.run_batch`.
+* :class:`~repro.service.server.SchedulingService` / ``serve`` — the
+  stdlib threaded HTTP/JSON API (``repro serve``).
+* :class:`~repro.service.client.ServiceClient` — the Python client
+  (``repro submit``, tests, examples).
+"""
+
+from .client import ServiceClient, ServiceError
+from .queue import JobQueue
+from .server import SchedulingService, serve
+from .store import JobRecord, JobStore, SqliteReportCache
+
+__all__ = ["JobStore", "JobRecord", "SqliteReportCache", "JobQueue",
+           "SchedulingService", "serve", "ServiceClient", "ServiceError"]

@@ -1,0 +1,164 @@
+"""Python client for the scheduling service (stdlib ``urllib`` only).
+
+Used by the test suite, ``repro submit`` and the examples; any other
+HTTP client works just as well — the API is plain JSON (see
+:mod:`repro.service.server` for the routes and curl examples in the
+README).
+
+::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    job = client.submit(inst, ["splittable", ("ptas-splittable",
+                                              {"delta": 2})])
+    reports = client.wait(job["id"])          # list[SolveReport]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Mapping
+
+from ..core.instance import Instance
+from ..engine.report import SolveReport
+from ..io import instance_to_dict
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with its decoded JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Minimal blocking client for one service endpoint."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+
+    #: Transient connection failures retried for idempotent requests.
+    _RETRIABLE = (ConnectionResetError, ConnectionRefusedError,
+                  ConnectionAbortedError)
+    _RETRIES = 3
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> Any:
+        req = urllib.request.Request(
+            self.base_url + path, method=method,
+            data=json.dumps(body).encode() if body is not None else None,
+            headers={"Content-Type": "application/json"})
+        # GETs are idempotent, so a connection dropped under load is
+        # safely retried; a POST is never resent (it could double-submit)
+        attempts = self._RETRIES if method == "GET" else 1
+        for attempt in range(attempts):
+            try:
+                with urllib.request.urlopen(req,
+                                            timeout=self.timeout) as resp:
+                    return json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read())
+                    message = payload.get("error", str(payload))
+                except (json.JSONDecodeError, ValueError):
+                    message = exc.reason
+                raise ServiceError(exc.code, message) from None
+            except self._RETRIABLE:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+            except urllib.error.URLError as exc:
+                if isinstance(exc.reason, self._RETRIABLE) \
+                        and attempt < attempts - 1:
+                    time.sleep(0.05 * (attempt + 1))
+                else:
+                    raise
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+
+    def submit(self, inst: Instance | Mapping[str, Any],
+               algorithms: Iterable[str | tuple[str, Mapping[str, Any]]],
+               *, label: str = "", priority: int = 0,
+               timeout: float | None = None) -> dict:
+        """``POST /jobs``; returns the created job record as a dict."""
+        algos: list[Any] = []
+        for item in algorithms:
+            if isinstance(item, str):
+                algos.append(item)
+            else:
+                name, kwargs = item
+                algos.append([name, dict(kwargs or {})])
+        body = {
+            "instance": (instance_to_dict(inst)
+                         if isinstance(inst, Instance) else dict(inst)),
+            "algorithms": algos, "label": label, "priority": priority,
+        }
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/{id}``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self, status: str | None = None, limit: int = 100) -> list[dict]:
+        """``GET /jobs``."""
+        path = f"/jobs?limit={limit}"
+        if status is not None:
+            path += f"&status={status}"
+        return self._request("GET", path)["jobs"]
+
+    def reports(self, job_id: str) -> list[SolveReport]:
+        """``GET /jobs/{id}/reports``, decoded back into SolveReports
+        (fractions arrive exact thanks to the num/den wire encoding)."""
+        payload = self._request("GET", f"/jobs/{job_id}/reports")
+        return [SolveReport.from_dict(d) for d in payload["reports"]]
+
+    def results_for_digest(self, digest: str) -> list[SolveReport]:
+        """``GET /results/{digest}`` — the cross-client cache view."""
+        payload = self._request("GET", f"/results/{digest}")
+        return [SolveReport.from_dict(d) for d in payload["reports"]]
+
+    def solvers(self) -> list[dict]:
+        """``GET /solvers``."""
+        return self._request("GET", "/solvers")["solvers"]
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def wait(self, job_id: str, *, timeout: float = 60.0,
+             poll: float = 0.05) -> list[SolveReport]:
+        """Poll until the job finishes; return its reports.
+
+        Raises :class:`TimeoutError` if the job is still pending after
+        ``timeout`` seconds, and :class:`ServiceError` (status 500) if
+        the job itself failed server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] == "done":
+                return self.reports(job_id)
+            if job["status"] == "failed":
+                raise ServiceError(500, f"job {job_id} failed: "
+                                        f"{job.get('error', '')}")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(poll)

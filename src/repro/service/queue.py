@@ -1,0 +1,167 @@
+"""Thread-safe priority job queue draining into the execution engine.
+
+The queue owns N drainer threads. Each pops the highest-priority queued
+job (FIFO within a priority level), marks it ``running`` in the
+:class:`~repro.service.store.JobStore`, runs its instance x algorithms
+grid through :func:`repro.engine.run_batch`, and persists the resulting
+reports. The engine cache hook points at the store's ``results`` table,
+so repeated digests are served without solver work — across jobs,
+clients and restarts.
+
+Drainers are plain threads, not the main thread, so the engine's
+``SIGALRM`` timeout cannot arm for inline solves; per-run timeouts here
+rely on :mod:`repro.engine.runner`'s watchdog-thread fallback (or, with
+``engine_workers > 1``, on ``SIGALRM`` inside the pool workers, which do
+run solver code on their main thread).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Iterable, Mapping
+
+from ..core.instance import Instance
+from ..engine import run_batch
+from .store import JobRecord, JobStore, SqliteReportCache
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue feeding persisted jobs to ``run_batch``.
+
+    Parameters
+    ----------
+    store:
+        The persistent job store; the queue never holds state the store
+        does not — the heap is just an index over ``status='queued'``.
+    drainers:
+        Number of worker threads consuming jobs (0 = accept-only, useful
+        for tests and draining-paused maintenance).
+    engine_workers:
+        ``workers`` forwarded to ``run_batch`` per job. The default 0
+        solves inline on the drainer thread — one process, ``drainers``
+        concurrent solves; raise it to fan each job out over processes.
+    default_timeout:
+        Per-run timeout (seconds) for jobs submitted without their own.
+    """
+
+    def __init__(self, store: JobStore, *, drainers: int = 2,
+                 engine_workers: int = 0,
+                 default_timeout: float | None = None) -> None:
+        if drainers < 0:
+            raise ValueError(f"drainers must be >= 0, got {drainers}")
+        self.store = store
+        self.cache = SqliteReportCache(store)
+        self.drainers = drainers
+        self.engine_workers = engine_workers
+        self.default_timeout = default_timeout
+        self._heap: list[tuple[int, int, str]] = []   # (-prio, seq, job_id)
+        self._seq = itertools.count()
+        self._cv = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._active = 0
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> int:
+        """Recover persisted work, spawn the drainers. Returns the number
+        of jobs re-enqueued from a previous process."""
+        recovered = self.store.recover_incomplete()
+        with self._cv:
+            self._stopping = False
+            self._started = True
+            for job in recovered:
+                heapq.heappush(self._heap,
+                               (-job.priority, next(self._seq), job.id))
+            self._cv.notify_all()
+        for k in range(self.drainers):
+            t = threading.Thread(target=self._drain_loop, daemon=True,
+                                 name=f"repro-drainer-{k}")
+            t.start()
+            self._threads.append(t)
+        return len(recovered)
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting pops; drainers exit after their current job."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join()
+        self._threads.clear()
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and no drainer is mid-job."""
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: not self._heap and self._active == 0, timeout)
+
+    # ------------------------------------------------------------------ #
+    # producing & introspection
+    # ------------------------------------------------------------------ #
+
+    def submit(self, inst: Instance,
+               algorithms: Iterable[tuple[str, Mapping[str, Any]]],
+               *, label: str = "", priority: int = 0,
+               timeout: float | None = None) -> JobRecord:
+        """Persist a job and wake a drainer. Safe from any thread."""
+        if timeout is None:
+            timeout = self.default_timeout
+        job = self.store.create_job(inst, algorithms, label=label,
+                                    priority=priority, timeout=timeout)
+        with self._cv:
+            heapq.heappush(self._heap, (-job.priority, next(self._seq),
+                                        job.id))
+            self._cv.notify()
+        return job
+
+    def depth(self) -> int:
+        """Jobs waiting in the queue (not counting in-flight ones)."""
+        with self._cv:
+            return len(self._heap)
+
+    def active(self) -> int:
+        """Jobs currently being solved by a drainer."""
+        with self._cv:
+            return self._active
+
+    # ------------------------------------------------------------------ #
+    # consuming
+    # ------------------------------------------------------------------ #
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cv:
+                self._cv.wait_for(lambda: self._heap or self._stopping)
+                if self._stopping:
+                    return
+                _, _, job_id = heapq.heappop(self._heap)
+                self._active += 1
+            try:
+                self._run_job(job_id)
+            finally:
+                with self._cv:
+                    self._active -= 1
+                    self._cv.notify_all()
+
+    def _run_job(self, job_id: str) -> None:
+        if not self.store.claim_job(job_id):
+            return      # deleted, finished, or another drainer won the id
+        job = self.store.get_job(job_id)
+        try:
+            reports = run_batch(
+                [(job.label or job_id, job.instance)], list(job.algorithms),
+                workers=self.engine_workers, timeout=job.timeout,
+                cache=self.cache)
+            self.store.finish_job(job_id, reports)
+        except Exception as exc:    # noqa: BLE001 — job fails, queue lives
+            self.store.finish_job(job_id, [],
+                                  error=f"{type(exc).__name__}: {exc}")

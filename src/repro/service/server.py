@@ -1,0 +1,327 @@
+"""Stdlib-only threaded HTTP/JSON API over the job queue.
+
+Endpoints::
+
+    POST /jobs                submit one instance x algorithms job
+    GET  /jobs                recent jobs (?status=queued&limit=50)
+    GET  /jobs/{id}           job status + timestamps
+    GET  /jobs/{id}/reports   the job's SolveReports (?format=ndjson
+                              or Accept: application/x-ndjson streams
+                              one report per line)
+    GET  /results/{digest}    every cached report for an instance
+                              content hash (cross-client cache view)
+    GET  /solvers             the solver registry, rendered to JSON
+    GET  /healthz             queue depth, job counts, cache hit rate
+
+``POST /jobs`` body::
+
+    {"instance": {"processing_times": [...], "classes": [...],
+                  "machines": 4, "class_slots": 2},
+     "algorithms": ["splittable", ["ptas-splittable", {"delta": 2}]],
+     "label": "demo", "priority": 5, "timeout": 30.0}
+
+Everything is ``http.server`` + ``json`` — no web framework, so the
+service runs anywhere the package does. The HTTP layer is deliberately
+thin: every handler delegates to :class:`~repro.service.store.JobStore`
+/ :class:`~repro.service.queue.JobQueue`, which own all state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..core.errors import InvalidInstanceError
+from ..io import instance_from_dict
+from ..registry import UnknownSolverError, get_solver, list_solvers
+from .queue import JobQueue
+from .store import JobStore
+
+__all__ = ["SchedulingService", "serve"]
+
+NDJSON = "application/x-ndjson"
+
+
+class _BadRequest(Exception):
+    """Maps to a 400 with the message as the JSON error body."""
+
+
+def _parse_algorithms(raw: Any) -> list[tuple[str, dict]]:
+    if not isinstance(raw, list) or not raw:
+        raise _BadRequest("'algorithms' must be a non-empty list")
+    out: list[tuple[str, dict]] = []
+    for item in raw:
+        if isinstance(item, str):
+            name, kwargs = item, {}
+        elif isinstance(item, list) and len(item) == 2 \
+                and isinstance(item[0], str) and isinstance(item[1], dict):
+            name, kwargs = item
+        else:
+            raise _BadRequest(
+                f"algorithm entries are 'name' or ['name', {{kwargs}}]; "
+                f"got {item!r}")
+        try:
+            spec = get_solver(name)     # unknown names fail at submit time
+        except UnknownSolverError as exc:
+            raise _BadRequest(str(exc.args[0]))
+        unknown = sorted(set(kwargs) - set(spec.accepts))
+        if unknown:
+            raise _BadRequest(
+                f"solver {spec.name!r} does not accept kwargs {unknown}")
+        out.append((spec.name, dict(kwargs)))
+    return out
+
+
+def _parse_submission(body: dict) -> dict:
+    if not isinstance(body, dict):
+        raise _BadRequest("body must be a JSON object")
+    if "instance" not in body:
+        raise _BadRequest("missing 'instance'")
+    try:
+        inst = instance_from_dict(body["instance"])
+    except (InvalidInstanceError, KeyError, TypeError, ValueError) as exc:
+        raise _BadRequest(f"invalid instance: {exc}")
+    timeout = body.get("timeout")
+    if timeout is not None and (not isinstance(timeout, (int, float))
+                                or timeout <= 0):
+        raise _BadRequest("'timeout' must be a positive number")
+    priority = body.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise _BadRequest("'priority' must be an integer")
+    return dict(inst=inst,
+                algorithms=_parse_algorithms(body.get("algorithms")),
+                label=str(body.get("label", "")), priority=priority,
+                timeout=float(timeout) if timeout is not None else None)
+
+
+def _solver_dict(spec) -> dict:
+    return {"name": spec.name, "variant": spec.variant, "kind": spec.kind,
+            "ratio": spec.ratio_label, "theorem": spec.theorem or None,
+            "needs_milp": spec.needs_milp,
+            "accepts": list(spec.accepts), "summary": spec.summary}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "_HTTPServer"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, fmt: str, *args) -> None:
+        if not self.server.service.quiet:   # pragma: no cover - logging
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        data = json.dumps(payload, indent=2).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status)
+
+    def _drain_body(self) -> bytes:
+        # the body is always consumed, even for requests that error out:
+        # leaving it unread would desync the next request on a reused
+        # keep-alive connection (protocol_version is HTTP/1.1)
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    @staticmethod
+    def _parse_body(raw: bytes) -> dict:
+        if not raw:
+            raise _BadRequest("missing request body")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}")
+
+    def _query(self) -> tuple[str, dict[str, str]]:
+        path, _, query = self.path.partition("?")
+        params = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                k, _, v = pair.partition("=")
+                params[k] = v
+        return path.rstrip("/") or "/", params
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:       # noqa: N802 — http.server API
+        path, params = self._query()
+        try:
+            if path == "/healthz":
+                return self._send_json(self.server.service.health())
+            if path == "/solvers":
+                return self._send_json(
+                    {"solvers": [_solver_dict(s) for s in list_solvers()]})
+            if path == "/jobs":
+                status = params.get("status")
+                try:
+                    limit = int(params.get("limit", "100"))
+                except ValueError:
+                    raise _BadRequest(
+                        f"'limit' must be an integer, "
+                        f"got {params['limit']!r}")
+                jobs = self.server.service.store.list_jobs(status=status,
+                                                           limit=limit)
+                return self._send_json({"jobs": [j.to_dict() for j in jobs]})
+            parts = path.lstrip("/").split("/")
+            if parts[0] == "jobs" and len(parts) == 2:
+                return self._get_job(parts[1])
+            if parts[0] == "jobs" and len(parts) == 3 \
+                    and parts[2] == "reports":
+                return self._get_reports(parts[1], params)
+            if parts[0] == "results" and len(parts) == 2:
+                reps = self.server.service.store.cached_reports_for_digest(
+                    parts[1])
+                return self._send_json(
+                    {"instance_digest": parts[1],
+                     "reports": [r.to_dict() for r in reps]})
+            self._send_error_json(404, f"no route for GET {path}")
+        except _BadRequest as exc:
+            self._send_error_json(400, str(exc))
+
+    def do_POST(self) -> None:      # noqa: N802 — http.server API
+        path, _ = self._query()
+        raw = self._drain_body()
+        try:
+            if path == "/jobs":
+                sub = _parse_submission(self._parse_body(raw))
+                job = self.server.service.queue.submit(
+                    sub["inst"], sub["algorithms"], label=sub["label"],
+                    priority=sub["priority"], timeout=sub["timeout"])
+                return self._send_json(job.to_dict(), 201)
+            self._send_error_json(404, f"no route for POST {path}")
+        except _BadRequest as exc:
+            self._send_error_json(400, str(exc))
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.service.store.get_job(job_id)
+        if job is None:
+            return self._send_error_json(404, f"no job {job_id!r}")
+        self._send_json(job.to_dict())
+
+    def _get_reports(self, job_id: str, params: dict[str, str]) -> None:
+        store = self.server.service.store
+        job = store.get_job(job_id)
+        if job is None:
+            return self._send_error_json(404, f"no job {job_id!r}")
+        if job.status not in ("done", "failed"):
+            return self._send_json(
+                {"error": f"job {job_id} is {job.status}; reports are "
+                          "available once it is done", "status": job.status},
+                409)
+        reports = store.reports_for(job_id)
+        ndjson = params.get("format") == "ndjson" or \
+            NDJSON in (self.headers.get("Accept") or "")
+        if ndjson:
+            data = b"".join(json.dumps(r.to_dict()).encode() + b"\n"
+                            for r in reports)
+            self.send_response(200)
+            self.send_header("Content-Type", NDJSON)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+            return
+        self._send_json({"job_id": job_id, "status": job.status,
+                         "error": job.error,
+                         "reports": [r.to_dict() for r in reports]})
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # dozens of clients poll concurrently; the stdlib default backlog of
+    # 5 drops connections under exactly the load the service exists for
+    request_queue_size = 128
+    service: "SchedulingService"
+
+
+class SchedulingService:
+    """The composed service: store + queue + HTTP server.
+
+    ``port=0`` binds an ephemeral port (tests); read ``self.port`` after
+    construction. ``start()`` recovers persisted jobs and begins serving
+    in background threads; ``shutdown()`` stops cleanly (jobs still
+    queued stay ``queued`` in the store for the next start).
+    """
+
+    def __init__(self, db_path: str, *, host: str = "127.0.0.1",
+                 port: int = 8080, drainers: int = 2,
+                 engine_workers: int = 0,
+                 default_timeout: float | None = None,
+                 quiet: bool = True) -> None:
+        self.store = JobStore(db_path)
+        self.queue = JobQueue(self.store, drainers=drainers,
+                              engine_workers=engine_workers,
+                              default_timeout=default_timeout)
+        self.quiet = quiet
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.service = self
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+        self._started_at = time.time()
+        self.recovered = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> dict:
+        cache = self.queue.cache
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "queue_depth": self.queue.depth(),
+            "active_jobs": self.queue.active(),
+            "drainers": self.queue.drainers,
+            "jobs": self.store.counts(),
+            "cache": {"entries": len(cache), "hits": cache.hits,
+                      "misses": cache.misses,
+                      "hit_rate": round(cache.hit_rate, 4)},
+        }
+
+    def start(self) -> "SchedulingService":
+        self.recovered = self.queue.start()
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True, name="repro-http")
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+        self.queue.stop(wait=True)
+        self.store.close()
+
+
+def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,
+          drainers: int = 2, engine_workers: int = 0,
+          default_timeout: float | None = None,
+          quiet: bool = False) -> None:
+    """Run the service in the foreground until interrupted (CLI entry)."""
+    svc = SchedulingService(db_path, host=host, port=port, drainers=drainers,
+                            engine_workers=engine_workers,
+                            default_timeout=default_timeout, quiet=quiet)
+    svc.start()
+    print(f"repro service listening on {svc.url}  "
+          f"(db={db_path}, drainers={drainers}, "
+          f"recovered {svc.recovered} job(s))", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        svc.shutdown()

@@ -1,0 +1,317 @@
+"""SQLite-backed persistence for the scheduling service.
+
+One database file holds everything the service must not lose on restart:
+
+* ``jobs`` — every submitted job with its full input (instance JSON,
+  algorithm list, priority, timeout) and lifecycle timestamps, so a
+  restarted server re-enqueues whatever was queued or mid-flight;
+* ``reports`` — the ordered :class:`~repro.engine.report.SolveReport`
+  rows a finished job produced (JSON per row, fractions stay exact via
+  the report's ``num/den`` wire encoding);
+* ``results`` — a cross-client report cache keyed by
+  :func:`~repro.engine.cache.cache_key` and indexed by
+  ``Instance.digest()``, exposed through :class:`SqliteReportCache` so
+  the engine's ``run_batch(cache=...)`` hook reads and writes it
+  directly. Two clients submitting the same instance share work even
+  across server restarts.
+
+SQLite is accessed from many threads (HTTP handlers + queue drainers);
+one connection with ``check_same_thread=False`` behind an RLock keeps
+the store simple and safely serialised, and WAL mode keeps readers off
+the writers' backs for other processes inspecting the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..core.instance import Instance
+from ..engine.report import SolveReport
+from ..io import instance_from_dict, instance_to_dict
+
+__all__ = ["JobStore", "JobRecord", "SqliteReportCache", "JOB_STATUSES"]
+
+#: Lifecycle of a job. ``queued`` and ``running`` survive restarts as
+#: ``queued``; ``done`` and ``failed`` are terminal.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id              TEXT PRIMARY KEY,
+    status          TEXT NOT NULL,
+    priority        INTEGER NOT NULL DEFAULT 0,
+    label           TEXT NOT NULL DEFAULT '',
+    instance        TEXT NOT NULL,
+    instance_digest TEXT NOT NULL,
+    algorithms      TEXT NOT NULL,
+    timeout         REAL,
+    error           TEXT NOT NULL DEFAULT '',
+    submitted_at    REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
+
+CREATE TABLE IF NOT EXISTS reports (
+    job_id TEXT NOT NULL,
+    seq    INTEGER NOT NULL,
+    report TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+);
+
+CREATE TABLE IF NOT EXISTS results (
+    key             TEXT PRIMARY KEY,
+    instance_digest TEXT NOT NULL,
+    report          TEXT NOT NULL,
+    stored_at       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_digest ON results(instance_digest);
+"""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of the ``jobs`` table, decoded."""
+
+    id: str
+    status: str
+    priority: int
+    label: str
+    instance: Instance
+    instance_digest: str
+    algorithms: tuple[tuple[str, dict], ...]
+    timeout: float | None
+    error: str = ""
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (what ``GET /jobs/{id}`` returns)."""
+        return {
+            "id": self.id, "status": self.status, "priority": self.priority,
+            "label": self.label, "instance_digest": self.instance_digest,
+            "algorithms": [[name, kwargs] for name, kwargs in self.algorithms],
+            "timeout": self.timeout, "error": self.error,
+            "submitted_at": self.submitted_at, "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+def _row_to_record(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        id=row["id"], status=row["status"], priority=row["priority"],
+        label=row["label"],
+        instance=instance_from_dict(json.loads(row["instance"])),
+        instance_digest=row["instance_digest"],
+        algorithms=tuple((name, dict(kwargs))
+                         for name, kwargs in json.loads(row["algorithms"])),
+        timeout=row["timeout"], error=row["error"],
+        submitted_at=row["submitted_at"], started_at=row["started_at"],
+        finished_at=row["finished_at"])
+
+
+class JobStore:
+    """Thread-safe persistent job + report + result-cache store."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------ #
+    # jobs
+    # ------------------------------------------------------------------ #
+
+    def create_job(self, inst: Instance,
+                   algorithms: Iterable[tuple[str, Mapping[str, Any]]],
+                   *, label: str = "", priority: int = 0,
+                   timeout: float | None = None) -> JobRecord:
+        """Persist a new ``queued`` job and return its record."""
+        job_id = uuid.uuid4().hex[:16]
+        algos = tuple((name, dict(kwargs or {})) for name, kwargs in algorithms)
+        if not algos:
+            raise ValueError("a job needs at least one algorithm")
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs (id, status, priority, label, instance, "
+                "instance_digest, algorithms, timeout, submitted_at) "
+                "VALUES (?, 'queued', ?, ?, ?, ?, ?, ?, ?)",
+                (job_id, int(priority), label,
+                 json.dumps(instance_to_dict(inst)), inst.digest(),
+                 json.dumps([[n, k] for n, k in algos]), timeout, now))
+            self._conn.commit()
+        return JobRecord(id=job_id, status="queued", priority=int(priority),
+                         label=label, instance=inst,
+                         instance_digest=inst.digest(), algorithms=algos,
+                         timeout=timeout, submitted_at=now)
+
+    def get_job(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        return _row_to_record(row) if row is not None else None
+
+    def list_jobs(self, status: str | None = None,
+                  limit: int = 100) -> list[JobRecord]:
+        """Most recent jobs first, optionally filtered by status."""
+        q = "SELECT * FROM jobs"
+        params: tuple = ()
+        if status is not None:
+            q += " WHERE status = ?"
+            params = (status,)
+        q += " ORDER BY submitted_at DESC LIMIT ?"
+        with self._lock:
+            rows = self._conn.execute(q, params + (int(limit),)).fetchall()
+        return [_row_to_record(r) for r in rows]
+
+    def claim_job(self, job_id: str) -> bool:
+        """Atomically flip one ``queued`` job to ``running``.
+
+        Returns False when the job is gone or already claimed — the
+        queue can hold duplicate ids (e.g. a job both submitted live and
+        re-enqueued by recovery), and exactly one drainer must win."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET status='running', started_at=? "
+                "WHERE id=? AND status='queued'", (time.time(), job_id))
+            self._conn.commit()
+            return cur.rowcount == 1
+
+    def finish_job(self, job_id: str, reports: Iterable[SolveReport],
+                   *, error: str = "") -> None:
+        """Store a job's reports and flip it to ``done`` (or ``failed``)."""
+        status = "failed" if error else "done"
+        with self._lock:
+            self._conn.execute("DELETE FROM reports WHERE job_id=?", (job_id,))
+            self._conn.executemany(
+                "INSERT INTO reports (job_id, seq, report) VALUES (?, ?, ?)",
+                [(job_id, seq, json.dumps(rep.to_dict()))
+                 for seq, rep in enumerate(reports)])
+            self._conn.execute(
+                "UPDATE jobs SET status=?, error=?, finished_at=? WHERE id=?",
+                (status, error, time.time(), job_id))
+            self._conn.commit()
+
+    def reports_for(self, job_id: str) -> list[SolveReport]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT report FROM reports WHERE job_id=? ORDER BY seq",
+                (job_id,)).fetchall()
+        return [SolveReport.from_dict(json.loads(r["report"])) for r in rows]
+
+    def recover_incomplete(self) -> list[JobRecord]:
+        """Flip ``running`` leftovers back to ``queued`` and return every
+        job the queue must pick up again, oldest submission first — so a
+        restart preserves FIFO order within a priority level. Call once
+        at server start: a crash mid-solve must not strand work in
+        ``running`` forever."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE jobs SET status='queued', started_at=NULL "
+                "WHERE status='running'")
+            self._conn.commit()
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE status='queued' "
+                "ORDER BY submitted_at").fetchall()
+        return [_row_to_record(r) for r in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Job counts per status (zero-filled for missing statuses)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+            ).fetchall()
+        out = {s: 0 for s in JOB_STATUSES}
+        out.update({r["status"]: r["n"] for r in rows})
+        return out
+
+    # ------------------------------------------------------------------ #
+    # cross-client result cache
+    # ------------------------------------------------------------------ #
+
+    def cache_get(self, key: str) -> SolveReport | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT report FROM results WHERE key=?", (key,)).fetchone()
+        if row is None:
+            return None
+        try:
+            return SolveReport.from_dict(json.loads(row["report"]))
+        except (ValueError, TypeError, json.JSONDecodeError):
+            return None     # corrupt entry: treat as a miss
+
+    def cache_put(self, key: str, digest: str, report: SolveReport) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, instance_digest, report, stored_at) VALUES (?,?,?,?)",
+                (key, digest, json.dumps(report.to_dict()), time.time()))
+            self._conn.commit()
+
+    def cached_reports_for_digest(self, digest: str) -> list[SolveReport]:
+        """Every cached report for one instance content hash — the store
+        doubles as a digest-indexed ReportCache across clients."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT report FROM results WHERE instance_digest=? "
+                "ORDER BY stored_at", (digest,)).fetchall()
+        return [SolveReport.from_dict(json.loads(r["report"])) for r in rows]
+
+    def cache_size(self) -> int:
+        with self._lock:
+            (n,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results").fetchone()
+        return n
+
+
+class SqliteReportCache:
+    """Adapter giving :class:`JobStore`'s ``results`` table the
+    ``get``/``put`` interface ``run_batch(cache=...)`` expects, with the
+    same hit/miss counters :class:`~repro.engine.cache.ReportCache`
+    exposes (the service's ``/healthz`` reports them)."""
+
+    def __init__(self, store: JobStore) -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return self._store.cache_size()
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def get(self, key: str) -> SolveReport | None:
+        rep = self._store.cache_get(key)
+        with self._lock:
+            if rep is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return rep
+
+    def put(self, key: str, report: SolveReport) -> None:
+        self._store.cache_put(key, report.instance_digest, report)

@@ -4,6 +4,8 @@ from .generators import (adversarial_splittable_instance,
                          data_placement_instance, enumerate_tiny_instances,
                          tight_slots_instance, uniform_instance,
                          video_on_demand_instance, zipf_instance)
+from .suites import (large_ratio_suite, ptas_suite, scaling_suite,
+                     small_ratio_suite)
 
 __all__ = [
     "uniform_instance",
@@ -13,4 +15,8 @@ __all__ = [
     "adversarial_splittable_instance",
     "tight_slots_instance",
     "enumerate_tiny_instances",
+    "small_ratio_suite",
+    "large_ratio_suite",
+    "scaling_suite",
+    "ptas_suite",
 ]

@@ -1,0 +1,161 @@
+"""Tests for the service persistence layer: JobStore + SqliteReportCache."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Instance
+from repro.engine import SolveReport, cache_key
+from repro.service import JobStore, SqliteReportCache
+
+
+@pytest.fixture
+def inst() -> Instance:
+    return Instance((5, 3, 8, 6, 2), (0, 0, 1, 2, 2), 2, 2)
+
+
+@pytest.fixture
+def store(tmp_path) -> JobStore:
+    s = JobStore(tmp_path / "jobs.db")
+    yield s
+    s.close()
+
+
+def _report(inst: Instance, **over) -> SolveReport:
+    base = dict(algorithm="splittable", instance_digest=inst.digest(),
+                instance_label="x", variant="splittable",
+                makespan=Fraction(22, 7), guess=Fraction(11, 7),
+                certified_ratio=2.0, proven_ratio="2", wall_time_s=0.01,
+                validated=True, extra={"pieces": 3})
+    base.update(over)
+    return SolveReport(**base)
+
+
+class TestJobLifecycle:
+    def test_create_and_get_roundtrip(self, store, inst):
+        job = store.create_job(inst, [("splittable", {}),
+                                      ("ptas-splittable", {"delta": 2})],
+                               label="demo", priority=7, timeout=12.5)
+        back = store.get_job(job.id)
+        assert back.status == "queued"
+        assert back.priority == 7 and back.label == "demo"
+        assert back.timeout == 12.5
+        assert back.instance == inst
+        assert back.instance_digest == inst.digest()
+        assert back.algorithms == (("splittable", {}),
+                                   ("ptas-splittable", {"delta": 2}))
+
+    def test_missing_job_is_none(self, store):
+        assert store.get_job("nope") is None
+
+    def test_claim_is_exclusive(self, store, inst):
+        job = store.create_job(inst, [("lpt", {})])
+        assert store.claim_job(job.id)
+        assert not store.claim_job(job.id)      # second claimer loses
+        assert store.get_job(job.id).status == "running"
+
+    def test_finish_and_counts(self, store, inst):
+        a = store.create_job(inst, [("lpt", {})])
+        b = store.create_job(inst, [("lpt", {})])
+        store.claim_job(a.id)
+        store.finish_job(a.id, [_report(inst)])
+        store.claim_job(b.id)
+        store.finish_job(b.id, [], error="boom")
+        assert store.counts() == {"queued": 0, "running": 0,
+                                  "done": 1, "failed": 1}
+        assert store.get_job(b.id).error == "boom"
+        assert store.get_job(b.id).status == "failed"
+
+    def test_empty_algorithms_rejected(self, store, inst):
+        with pytest.raises(ValueError):
+            store.create_job(inst, [])
+
+    def test_list_jobs_filter(self, store, inst):
+        a = store.create_job(inst, [("lpt", {})])
+        store.create_job(inst, [("lpt", {})])
+        store.claim_job(a.id)
+        store.finish_job(a.id, [])
+        assert [j.id for j in store.list_jobs(status="done")] == [a.id]
+        assert len(store.list_jobs()) == 2
+
+
+class TestPersistenceAcrossRestart:
+    def test_jobs_survive_reopen(self, tmp_path, inst):
+        path = tmp_path / "jobs.db"
+        s1 = JobStore(path)
+        queued = s1.create_job(inst, [("splittable", {})], priority=3)
+        running = s1.create_job(inst, [("lpt", {})])
+        s1.claim_job(running.id)
+        s1.close()
+
+        s2 = JobStore(path)             # "the server restarted"
+        recovered = s2.recover_incomplete()
+        # oldest submission first: restart preserves FIFO within priority
+        assert [j.id for j in recovered] == [queued.id, running.id]
+        # the interrupted running job is queued again, priority intact
+        back = s2.get_job(running.id)
+        assert back.status == "queued" and back.started_at is None
+        assert s2.get_job(queued.id).priority == 3
+        s2.close()
+
+    def test_report_fraction_roundtrip_through_sqlite(self, tmp_path, inst):
+        path = tmp_path / "jobs.db"
+        s1 = JobStore(path)
+        job = s1.create_job(inst, [("splittable", {})])
+        s1.claim_job(job.id)
+        reports = [_report(inst),
+                   _report(inst, algorithm="preemptive",
+                           makespan=Fraction(10**12 + 1, 3 * 10**8),
+                           guess=Fraction(1, 3)),
+                   _report(inst, algorithm="lpt", status="infeasible",
+                           makespan=None, guess=None, certified_ratio=None,
+                           validated=False, error="dead end", extra={})]
+        s1.finish_job(job.id, reports)
+        s1.close()
+
+        s2 = JobStore(path)
+        back = s2.reports_for(job.id)
+        assert back == reports          # exact, order preserved
+        assert back[1].makespan == Fraction(10**12 + 1, 3 * 10**8)
+        assert isinstance(back[0].makespan, Fraction)
+        s2.close()
+
+
+class TestResultCache:
+    def test_cache_roundtrip_and_digest_index(self, store, inst):
+        other = Instance((4, 4), (0, 1), 2, 1)
+        k1 = cache_key(inst, "splittable", {})
+        k2 = cache_key(inst, "preemptive", {})
+        k3 = cache_key(other, "splittable", {})
+        store.cache_put(k1, inst.digest(), _report(inst))
+        store.cache_put(k2, inst.digest(), _report(inst,
+                                                   algorithm="preemptive"))
+        store.cache_put(k3, other.digest(),
+                        _report(other, instance_digest=other.digest()))
+        assert store.cache_get(k1) == _report(inst)
+        assert store.cache_get("missing") is None
+        by_digest = store.cached_reports_for_digest(inst.digest())
+        assert {r.algorithm for r in by_digest} == {"splittable",
+                                                    "preemptive"}
+        assert store.cache_size() == 3
+
+    def test_put_overwrites(self, store, inst):
+        k = cache_key(inst, "splittable", {})
+        store.cache_put(k, inst.digest(), _report(inst))
+        newer = _report(inst, makespan=Fraction(5, 2))
+        store.cache_put(k, inst.digest(), newer)
+        assert store.cache_get(k) == newer
+        assert store.cache_size() == 1
+
+    def test_adapter_speaks_run_batch_cache_protocol(self, store, inst):
+        cache = SqliteReportCache(store)
+        k = cache_key(inst, "splittable", {})
+        assert cache.get(k) is None
+        cache.put(k, _report(inst))
+        hit = cache.get(k)
+        assert hit is not None and hit.makespan == Fraction(22, 7)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        assert len(cache) == 1
+        # digest landed in the index column via report.instance_digest
+        assert store.cached_reports_for_digest(inst.digest()) == [hit]
