@@ -9,7 +9,7 @@ piece exists, and the makespan stays within ``2T``.
 import numpy as np
 
 from conftest import report
-from repro.analysis.figures import figure2_repacking, render_preemptive
+from repro.analysis.figures import figure2_repacking
 from repro.analysis.reporting import experiment_header
 from repro.approx.preemptive import solve_preemptive
 from repro.core.validation import validate_preemptive

@@ -9,9 +9,11 @@ and guarantee table).
 
 from __future__ import annotations
 
-import pytest
+from repro.api import Session
 
-from repro.engine import run_batch
+#: Every bench dispatches through the same facade as the CLI and the
+#: service; the in-process backend keeps timings honest (no pool).
+_SESSION = Session()
 
 
 def report(text: str) -> None:
@@ -21,15 +23,16 @@ def report(text: str) -> None:
 
 
 def engine_run(algorithm: str, **kwargs):
-    """``run_alg`` factory that routes a bench through the execution
-    engine (registry dispatch + validation + SolveReport), inline so the
-    measured time is the solver's, not the process pool's.
+    """``run_alg`` factory that routes a bench through the
+    :class:`repro.api.Session` facade (registry dispatch + validation +
+    SolveReport), inline so the measured time is the solver's, not the
+    process pool's.
 
     Returns a callable ``inst -> float`` (the validated makespan) that
     raises if the run did not come back ``ok``.
     """
     def run(inst) -> float:
-        (rep,) = run_batch([inst], [(algorithm, kwargs)], workers=0)
+        rep = _SESSION.solve(inst, algorithm=algorithm, kwargs=kwargs)
         assert rep.ok, f"{algorithm} on {rep.instance_label}: " \
                        f"{rep.status} ({rep.error})"
         return float(rep.makespan)

@@ -4,19 +4,20 @@
 Operations need a database resident on the machine that runs them; each
 machine's disk holds at most ``c`` databases. Classes = databases, class
 slots = disk capacity. We generate a skewed catalogue (hot databases get
-most operations), schedule with the 7/3-approximation, and show how the
-achievable makespan degrades as disks shrink — the trade-off an operator
-actually tunes.
+most operations), sweep disk capacities through one
+:class:`repro.api.Session` batch (the 7/3-approximation against the FFD
+baseline), and show how the achievable makespan degrades as disks
+shrink — the trade-off an operator actually tunes.
 
 Run:  python examples/data_placement.py
 """
 
 import numpy as np
 
-from repro import solve_nonpreemptive, validate
 from repro.analysis.reporting import format_table
-from repro.baselines import ffd_binary_search_schedule
+from repro.api import Session
 from repro.core.bounds import nonpreemptive_lower_bound
+from repro.io import schedule_from_dict
 from repro.workloads import data_placement_instance
 
 
@@ -28,34 +29,40 @@ def main() -> None:
           f"{base.num_classes} databases, {base.machines} machines")
     print()
 
-    rows = []
+    session = Session()
     # slots below ceil(C/m) = 3 are infeasible outright (24
     # databases cannot fit in fewer than 24 slots overall)
-    for slots in (6, 5, 4, 3):
-        inst = type(base)(base.processing_times, base.classes,
-                          base.machines, slots)
-        res = solve_nonpreemptive(inst)
-        mk = validate(inst, res.schedule)
+    sweep = [(f"slots={s}",
+              type(base)(base.processing_times, base.classes,
+                         base.machines, s))
+             for s in (6, 5, 4, 3)]
+    reports = session.solve_batch(sweep, algorithms=["nonpreemptive",
+                                                     "ffd"])
+
+    rows = []
+    for (label, inst), (approx, ffd) in zip(sweep,
+                                            zip(reports[::2],
+                                                reports[1::2])):
         lb = nonpreemptive_lower_bound(inst)
-        try:
-            ffd = ffd_binary_search_schedule(inst).makespan(inst)
-        except Exception:
-            ffd = None
-        rows.append([slots, mk, lb, f"{mk / lb:.3f}",
-                     ffd if ffd is not None else "FAIL"])
+        mk = approx.makespan
+        rows.append([label.split("=")[1], mk, lb, f"{mk / lb:.3f}",
+                     ffd.makespan if ffd.ok else "FAIL"])
     print(format_table(
         ["disk slots", "7/3-approx makespan", "lower bound",
          "ratio vs LB", "FFD baseline"], rows,
         title="makespan vs disk capacity (fewer slots -> tighter coupling)"))
     print()
 
-    # per-machine placement report for the scarcest configuration
+    # per-machine placement report for the scarcest configuration;
+    # want_schedule=True carries the schedule back through the report
     inst = type(base)(base.processing_times, base.classes, base.machines, 3)
-    res = solve_nonpreemptive(inst)
+    report = session.solve(inst, algorithm="nonpreemptive",
+                           want_schedule=True)
+    sched = schedule_from_dict(report.extra["schedule"])
     print("placement with 3 disk slots per machine:")
     for i in range(inst.machines):
-        dbs = sorted(res.schedule.classes_on(i, inst))
-        load = res.schedule.load(i, inst)
+        dbs = sorted(sched.classes_on(i, inst))
+        load = sched.load(i, inst)
         print(f"  machine {i}: databases {dbs}, load {load}")
 
 

@@ -3,7 +3,9 @@
 
 Builds a small instance, runs the three constant-factor algorithms
 (Theorems 4-6), one PTAS, the exact solver, and prints a comparison —
-about a minute of reading to see the whole public API.
+about a minute of reading to see the whole public API, ending with the
+typed :class:`repro.api.Session` facade every other surface (CLI,
+benchmarks, HTTP service) dispatches through.
 
 Run:  python examples/quickstart.py
 """
@@ -11,6 +13,7 @@ Run:  python examples/quickstart.py
 from repro import (Instance, solve_nonpreemptive, solve_preemptive,
                    solve_splittable, validate)
 from repro.analysis.figures import render_rows
+from repro.api import Session, SolverQuery
 from repro.exact import opt_nonpreemptive, opt_preemptive, opt_splittable
 from repro.ptas.nonpreemptive import ptas_nonpreemptive
 
@@ -60,6 +63,23 @@ def main() -> None:
 
     print("splittable schedule (load bars):")
     print(render_rows(rs.schedule, inst))
+    print()
+
+    # the typed facade: same solves, one front door. Capability
+    # selection asks for a guarantee instead of naming an algorithm;
+    # swap Session() for Session("http://host:8080") and nothing else
+    # changes.
+    print("== the repro.api facade ==")
+    session = Session()
+    best = session.solve(inst, query=SolverQuery(
+        variant="nonpreemptive", max_ratio="7/3", allow_milp=False,
+        time_budget=1.0))
+    print(f"query(nonpreemptive, ratio<=7/3, no MILP, <=1s) -> "
+          f"{best.algorithm}: makespan {best.makespan}")
+    for rep in session.solve_batch([("quickstart", inst)],
+                                   algorithms=["splittable", "lpt", "ffd"]):
+        print(f"  {rep.algorithm:<12} {rep.status:<4} "
+              f"makespan {float(rep.makespan):6.2f}")
 
 
 if __name__ == "__main__":

@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Scheduling-as-a-service demo: submit a workload suite over HTTP.
+"""Scheduling-as-a-service demo: one facade, local or remote.
 
 Boots a :class:`repro.service.SchedulingService` on an ephemeral port
-(exactly what `repro serve` runs), pushes the `small_ratio_suite`
-workload through the HTTP API via :class:`repro.service.ServiceClient`,
-polls the jobs to completion, and prints the per-instance reports plus
-the server's health stats. The suite repeats digests across submissions,
-so the second half of the demo shows the persistent result cache doing
-its job: repeated instances cost zero solver time.
+(exactly what `repro serve` runs), then drives it through the same
+:class:`repro.api.Session` facade the CLI and benchmarks use — only the
+backend changes from in-process to the service's ``/v1`` HTTP API. The
+suite repeats digests across submissions, so the second half of the
+demo shows the persistent result cache doing its job: repeated
+instances cost zero solver time. A synchronous ``POST /v1/solve`` round
+trip closes the loop: the canonical request bytes come back unchanged.
 
 Run:  python examples/service_demo.py
 """
@@ -16,6 +17,7 @@ import tempfile
 from pathlib import Path
 
 from repro.analysis.reporting import render_reports
+from repro.api import Session, SolveRequest, SolverQuery
 from repro.service import SchedulingService, ServiceClient
 from repro.workloads import small_ratio_suite
 
@@ -25,27 +27,34 @@ ALGORITHMS = ["splittable", "nonpreemptive", "lpt"]
 def main() -> None:
     db = Path(tempfile.mkdtemp(prefix="repro-service-")) / "jobs.db"
     service = SchedulingService(db, port=0, drainers=2).start()
-    client = ServiceClient(service.url)
-    print(f"service up at {service.url}  (db: {db})\n")
+    print(f"service up at {service.url}/v1  (db: {db})\n")
+
+    # the same Session API would run this in-process: Session()
+    session = Session(service.url)
 
     workload = list(small_ratio_suite(seeds=3))
     print(f"submitting {len(workload)} instances x {ALGORITHMS} ...")
-    jobs = [client.submit(inst, ALGORITHMS, label=label)
-            for label, inst in workload]
-
-    reports = []
-    for job in jobs:
-        reports.extend(client.wait(job["id"], timeout=120))
-    print(render_reports(reports, title="suite via the HTTP API"))
+    reports = session.solve_batch(workload, algorithms=ALGORITHMS)
+    print(render_reports(reports, title="suite via the /v1 HTTP API"))
 
     print("\nresubmitting the same suite — served from the result cache:")
-    again = [client.submit(inst, ALGORITHMS, label=f"{label}-again")
-             for label, inst in workload]
-    cached = []
-    for job in again:
-        cached.extend(client.wait(job["id"], timeout=120))
+    again = [(f"{label}-again", inst) for label, inst in workload]
+    cached = session.solve_batch(again, algorithms=ALGORITHMS)
     hits = sum(r.cached for r in cached)
     print(f"  {hits}/{len(cached)} reports came straight from the cache")
+
+    # synchronous solve with capability selection: ask for a guarantee,
+    # not an implementation, and get the canonical request echoed back
+    client = ServiceClient(service.url)
+    label, inst = workload[0]
+    request = SolveRequest(inst, query=SolverQuery(
+        variant="nonpreemptive", max_ratio="7/3", allow_milp=False,
+        time_budget=1.0), label=f"{label}-sync")
+    payload = client.solve_raw(request)
+    echoed = SolveRequest.from_dict(payload["request"])
+    print(f"\nPOST /v1/solve picked {payload['report']['algorithm']!r}; "
+          f"request round-tripped byte-identically: "
+          f"{echoed.canonical_json() == request.canonical_json()}")
 
     health = client.health()
     print(f"\nhealthz: {health['jobs']['done']} jobs done, "

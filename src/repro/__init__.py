@@ -16,10 +16,16 @@ Public API highlights
 * :func:`repro.ptas_splittable`, :func:`repro.ptas_preemptive`,
   :func:`repro.ptas_nonpreemptive` — the (1+eps)-approximation schemes
   (Theorems 10/11, 19, 14).
+* :mod:`repro.api` — the typed front door: :class:`repro.api.Session`
+  (``solve`` / ``solve_batch`` / ``stream``) over three interchangeable
+  backends (in-process, process-pool, remote ``/v1`` service), with
+  :class:`repro.api.SolveRequest` / :class:`repro.api.BatchRequest`
+  request objects and :class:`repro.api.SolverQuery` capability-based
+  solver selection.
 * :mod:`repro.registry` — the declarative solver registry: every
   algorithm (approximations, PTASes, exact solvers, baselines) registers
   once with its metadata; :func:`get_solver` / :func:`list_solvers`
-  resolve by name.
+  resolve by name, :func:`repro.registry.select_solver` by capability.
 * :mod:`repro.engine` — the unified execution engine:
   :func:`repro.engine.run_batch` fans instances x algorithms out over a
   process pool with per-run timeouts and content-hash caching, returning
@@ -42,15 +48,16 @@ Quickstart
 >>> result.makespan <= (7 / 3) * result.guess
 True
 
-Or registry-dispatched, at batch scale:
+Or through the typed facade, at batch scale:
 
->>> from repro import get_solver, run_batch
->>> get_solver("nonpreemptive").ratio_label
-'7/3'
->>> [r.status for r in run_batch([inst], ["splittable", "lpt"], workers=0)]
+>>> from repro import Session
+>>> s = Session()                       # in-process; or Session("http://...")
+>>> [r.status for r in s.solve_batch([inst],
+...                                  algorithms=["splittable", "lpt"])]
 ['ok', 'ok']
 """
 
+from .api import (BatchRequest, Session, SolveRequest, SolverQuery)
 from .approx import (NonPreemptiveResult, PreemptiveResult, SplittableResult,
                      solve_nonpreemptive, solve_preemptive, solve_splittable)
 from .core import (CCSError, InfeasibleScheduleError, Instance,
@@ -84,6 +91,10 @@ __all__ = [
     "SolverSpec",
     "get_solver",
     "list_solvers",
+    "Session",
+    "SolveRequest",
+    "BatchRequest",
+    "SolverQuery",
     "run_batch",
     "SolveReport",
     "ReportCache",

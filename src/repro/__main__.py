@@ -3,7 +3,9 @@
 Subcommands::
 
     list     show every registered algorithm with its metadata
-    solve    run one algorithm on a JSON instance, print/emit the schedule
+    solve    run one algorithm on a JSON instance (named via --algorithm,
+             capability-selected via --auto, in-process or --remote),
+             print/emit the schedule
     batch    run many instances x many algorithms through the parallel
              execution engine, emit a JSON or CSV report
     compare  run several algorithms on one instance, print a table
@@ -17,6 +19,8 @@ Examples::
     python -m repro generate --kind uniform --n 40 --classes 8 \
         --machines 4 --slots 2 --seed 7 -o inst.json
     python -m repro solve inst.json --algorithm nonpreemptive
+    python -m repro solve inst.json --auto variant=nonpreemptive,no_milp
+    python -m repro solve inst.json --remote http://127.0.0.1:8080
     python -m repro list --variant splittable
     python -m repro batch a.json b.json \
         --algorithms splittable,nonpreemptive,lpt --workers 4 -o report.json
@@ -25,8 +29,13 @@ Examples::
     python -m repro submit inst.json --url http://127.0.0.1:8080 \
         --algorithms splittable,lpt --wait
 
-Algorithm dispatch goes through :mod:`repro.registry`; adding a solver
-there makes it available to every subcommand with no CLI changes.
+Every run dispatches through the :class:`repro.api.Session` facade, so
+the CLI, the examples, the benchmarks and the service execute work
+identically; ``--remote`` swaps the in-process backend for a ``/v1``
+service without changing anything else. Algorithms resolve through
+:mod:`repro.registry` (by name, or by capability via ``--auto``);
+adding a solver there makes it available to every subcommand with no
+CLI changes.
 """
 
 from __future__ import annotations
@@ -38,16 +47,16 @@ import sys
 import numpy as np
 
 from .analysis.reporting import format_table, render_reports, reports_to_csv
+from .api import Session, SolveRequest, SolverQuery
 from .core.bounds import (area_bound, nonpreemptive_lower_bound, pmax_bound,
                           preemptive_lower_bound, splittable_lower_bound,
                           trivial_upper_bound)
-from .core.errors import CCSError, InvalidInstanceError
+from .core.errors import InvalidInstanceError
 from .core.instance import Instance
-from .core.validation import validate
-from .engine import ReportCache, run_batch
-from .io import dump_instance, instance_to_dict, load_instance, \
-    schedule_to_dict
-from .registry import UnknownSolverError, get_solver, list_solvers
+from .engine import DEFAULT_WORKERS, ReportCache
+from .io import dump_instance, instance_to_dict, load_instance
+from .registry import (NoMatchingSolverError, UnknownSolverError, get_solver,
+                       list_solvers)
 from .workloads import (data_placement_instance, uniform_instance,
                         video_on_demand_instance, zipf_instance)
 
@@ -106,37 +115,95 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_for(args: argparse.Namespace, *,
+                 default_workers: int = 0, cache=None) -> Session:
+    """The Session a subcommand dispatches through: a ``/v1`` service
+    when ``--remote`` is given, the in-process engine otherwise.
+
+    Local-only flags must not be silently discarded on the remote path."""
+    if getattr(args, "remote", None):
+        if getattr(args, "cache_dir", None):
+            raise SystemExit(
+                "error: --cache-dir cannot be combined with --remote; "
+                "the service owns its own result cache")
+        if getattr(args, "workers", None) is not None:
+            raise SystemExit(
+                "error: --workers has no effect with --remote; the "
+                "service's --engine-workers controls its fan-out")
+        return Session(args.remote)
+    workers = getattr(args, "workers", None)
+    return Session(workers=default_workers if workers is None else workers,
+                   cache=cache)
+
+
+def _dispatch(run):
+    """Run a Session call, turning user-input and remote failures into
+    the CLI's ``error:`` + exit-1 contract instead of tracebacks."""
+    try:
+        return run()
+    except (NoMatchingSolverError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    except Exception as exc:
+        from .service.client import ServiceError
+        if isinstance(exc, (ServiceError, OSError, TimeoutError)):
+            raise SystemExit(f"error: {exc}")
+        raise
+
+
+def _build_solve_request(args: argparse.Namespace,
+                         inst: Instance) -> SolveRequest:
+    query = None
+    if args.auto:
+        if args.algorithm is not None:
+            raise SystemExit(
+                "error: --algorithm and --auto are mutually exclusive")
+        try:
+            query = SolverQuery.parse(args.auto)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        algorithm, kwargs = None, {}
+    else:
+        try:
+            spec = get_solver(args.algorithm or "nonpreemptive")
+        except UnknownSolverError as exc:
+            raise SystemExit(f"error: {exc.args[0]}")
+        algorithm = spec.name
+        kwargs = {"delta": args.delta} if "delta" in spec.accepts else {}
+    try:
+        return SolveRequest(inst, algorithm=algorithm, query=query,
+                            kwargs=kwargs, label=args.instance,
+                            timeout=args.timeout,
+                            want_schedule=bool(args.output or args.emit))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     inst = _load_instance_checked(args.instance)
-    try:
-        spec = get_solver(args.algorithm)
-    except UnknownSolverError as exc:
-        raise SystemExit(f"error: {exc.args[0]}")
-    kwargs = {"delta": args.delta} if "delta" in spec.accepts else {}
-    try:
-        raw = spec.solve(inst, **kwargs)
-        if raw.schedule is not None:
-            makespan = validate(inst, raw.schedule)
-        else:
-            makespan = raw.makespan
-    except CCSError as exc:
-        raise SystemExit(f"error: {spec.name} failed: {exc}")
-    print(f"algorithm : {spec.name}", file=sys.stderr)
-    print(f"makespan  : {float(makespan):.6g}", file=sys.stderr)
-    print(f"guess T   : {float(raw.guess):.6g}", file=sys.stderr)
-    print(f"certified : makespan/guess = "
-          f"{float(makespan) / float(raw.guess):.4f}", file=sys.stderr)
+    request = _build_solve_request(args, inst)
+    report = _dispatch(lambda: _session_for(args).solve(request))
+    if not report.ok:
+        raise SystemExit(
+            f"error: {report.algorithm} finished {report.status}"
+            f"{': ' + report.error if report.error else ''}")
+    print(f"algorithm : {report.algorithm}", file=sys.stderr)
+    print(f"makespan  : {float(report.makespan):.6g}", file=sys.stderr)
+    if report.guess is not None:
+        print(f"guess T   : {float(report.guess):.6g}", file=sys.stderr)
+        print(f"certified : makespan/guess = "
+              f"{report.certified_ratio:.4f}", file=sys.stderr)
     if args.output or args.emit:
-        if raw.schedule is None:
+        sched = report.extra.get("schedule")
+        if sched is None:
             raise SystemExit(
-                f"error: {spec.name} computes only the optimum value; "
-                "it has no schedule to emit")
+                f"error: {report.algorithm} computes only the optimum "
+                "value; it has no schedule to emit")
         if args.output:
             with open(args.output, "w") as fh:
-                json.dump(schedule_to_dict(raw.schedule), fh, indent=2)
+                json.dump(sched, fh, indent=2)
             print(f"schedule written to {args.output}", file=sys.stderr)
         else:
-            json.dump(schedule_to_dict(raw.schedule), sys.stdout, indent=2)
+            json.dump(sched, sys.stdout, indent=2)
             print()
     return 0
 
@@ -145,9 +212,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     instances = [(path, _load_instance_checked(path))
                  for path in args.instances]
     algos = _resolve_algorithms(args.algorithms, args.delta)
-    cache = ReportCache(args.cache_dir) if args.cache_dir else None
-    reports = run_batch(instances, algos, workers=args.workers,
-                        timeout=args.timeout, cache=cache)
+    cache = (ReportCache(args.cache_dir)
+             if args.cache_dir and not args.remote else None)
+    session = _session_for(args, default_workers=DEFAULT_WORKERS,
+                           cache=cache)
+    reports = _dispatch(lambda: session.solve_batch(
+        instances, algorithms=algos, timeout=args.timeout))
     if args.format == "csv":
         payload = reports_to_csv(reports)
     else:
@@ -168,8 +238,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     inst = _load_instance_checked(args.instance)
     algos = _resolve_algorithms(args.algorithms, args.delta)
-    reports = run_batch([(args.instance, inst)], algos,
-                        workers=args.workers, timeout=args.timeout)
+    reports = _dispatch(lambda: _session_for(args).solve_batch(
+        [(args.instance, inst)], algorithms=algos, timeout=args.timeout))
     ok = [r for r in reports if r.ok and r.makespan is not None]
     best = min((float(r.makespan) for r in ok), default=None)
     print(render_reports(reports, title=f"compare on {args.instance}"))
@@ -214,14 +284,26 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if not args.wait:
             print(json.dumps({"job_ids": job_ids}))
             return 0
-        reports = []
-        for job_id in job_ids:
-            reports.extend(client.wait(job_id, timeout=args.wait_timeout))
+        reports, failed_jobs = [], []
+        for path, job_id in zip(args.instances, job_ids):
+            try:
+                reports.extend(client.wait(job_id,
+                                           timeout=args.wait_timeout))
+            except ServiceError as exc:
+                # a job that finished in a failed state must fail the
+                # command, not just print reports that omit it
+                if exc.code != "job_failed":
+                    raise
+                failed_jobs.append(job_id)
+                print(f"error: job {job_id} ({path}): {exc.message}",
+                      file=sys.stderr)
     except (ServiceError, TimeoutError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
     print(json.dumps({"reports": [r.to_dict() for r in reports]}, indent=2))
-    print(render_reports(reports), file=sys.stderr)
-    return 1 if any(r.status == "error" for r in reports) else 0
+    if reports:
+        print(render_reports(reports), file=sys.stderr)
+    return 1 if failed_jobs or any(r.status == "error" for r in reports) \
+        else 0
 
 
 _GENERATORS = {
@@ -261,6 +343,10 @@ def _add_engine_options(p: argparse.ArgumentParser,
                    help="process fan-out; 0 runs inline")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-run wall-clock timeout in seconds")
+    p.add_argument("--remote", metavar="URL",
+                   help="run on a `repro serve` /v1 endpoint instead of "
+                        "in-process (local --workers/--cache-dir do not "
+                        "apply)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,10 +363,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     ps = sub.add_parser("solve", help="run an algorithm on an instance")
     ps.add_argument("instance", help="path to an instance JSON file")
-    ps.add_argument("--algorithm", default="nonpreemptive",
-                    help="any registered solver (see `repro list`)")
+    ps.add_argument("--algorithm", default=None,
+                    help="any registered solver (see `repro list`); "
+                         "defaults to nonpreemptive")
+    ps.add_argument("--auto", metavar="QUERY",
+                    help="pick the solver by capability instead of name, "
+                         "e.g. variant=nonpreemptive,max_ratio=7/3,no_milp"
+                         ",budget=5")
     ps.add_argument("--delta", type=int, default=2,
                     help="PTAS accuracy q (delta = 1/q)")
+    ps.add_argument("--timeout", type=float, default=None,
+                    help="wall-clock timeout in seconds")
+    ps.add_argument("--remote", metavar="URL",
+                    help="solve on a running `repro serve` /v1 endpoint "
+                         "instead of in-process")
     ps.add_argument("-o", "--output", help="write the schedule JSON here")
     ps.add_argument("--emit", action="store_true",
                     help="print the schedule JSON to stdout")
@@ -301,7 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc = sub.add_parser("compare",
                         help="run several algorithms on one instance")
     pc.add_argument("instance")
-    _add_engine_options(pc, default_workers=0)
+    _add_engine_options(pc, default_workers=None)   # inline unless asked
     pc.set_defaults(func=_cmd_compare)
 
     pb = sub.add_parser("bounds", help="print certified makespan bounds")

@@ -1,0 +1,40 @@
+"""``repro.api`` — the typed front door to the whole system.
+
+One request model, three interchangeable backends, one report format:
+
+* :class:`SolveRequest` / :class:`BatchRequest` — frozen, typed request
+  objects with a canonical JSON wire form.
+* :class:`SolverQuery` — capability-based solver selection: ask for a
+  guarantee (variant, proven ratio bound, accuracy, dependency/time
+  budget) instead of naming an implementation.
+* :class:`Session` — ``solve()`` / ``solve_batch()`` / ``stream()``
+  over the in-process engine, the process-pool batch engine, or a
+  remote ``/v1`` scheduling service.
+
+>>> from repro.api import Session, SolverQuery
+>>> from repro import Instance
+>>> inst = Instance.create([5, 3, 8, 6], classes=["a", "a", "b", "c"],
+...                        machines=2, class_slots=2)
+>>> rep = Session().solve(inst, query=SolverQuery(
+...     variant="nonpreemptive", allow_milp=False))
+>>> rep.algorithm, rep.status
+('nonpreemptive', 'ok')
+"""
+
+from ..registry import NoMatchingSolverError, UnknownSolverError
+from .backends import InProcessBackend, ProcessPoolBackend, RemoteBackend
+from .query import SolverQuery
+from .requests import BatchRequest, SolveRequest
+from .session import Session
+
+__all__ = [
+    "Session",
+    "SolveRequest",
+    "BatchRequest",
+    "SolverQuery",
+    "InProcessBackend",
+    "ProcessPoolBackend",
+    "RemoteBackend",
+    "UnknownSolverError",
+    "NoMatchingSolverError",
+]

@@ -1,0 +1,194 @@
+"""The three interchangeable execution backends behind ``Session``.
+
+* :class:`InProcessBackend` — the engine, inline in this process
+  (honest timings; what benchmarks use).
+* :class:`ProcessPoolBackend` — the engine's process fan-out
+  (batch throughput).
+* :class:`RemoteBackend` — a ``/v1`` scheduling service over HTTP
+  (shared queue, cross-client result cache).
+
+All three consume the same :class:`~repro.api.requests.SolveRequest` /
+:class:`~repro.api.requests.BatchRequest` objects and return the same
+:class:`~repro.engine.report.SolveReport` records, with batch reports in
+the same deterministic order (instances outermost) — swapping backends
+never changes what a caller sees, only where the work runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Iterator
+
+from ..engine import DEFAULT_WORKERS, execute, run_batch
+from ..engine.cache import cache_key, is_cacheable, relabel_hit
+from ..engine.report import SolveReport
+from .requests import BatchRequest, SolveRequest
+
+if TYPE_CHECKING:    # pragma: no cover - typing only
+    from ..service.client import ServiceClient
+
+__all__ = ["InProcessBackend", "ProcessPoolBackend", "RemoteBackend"]
+
+
+class InProcessBackend:
+    """Runs requests inline through the execution engine.
+
+    ``cache`` is any object with the engine's ``get``/``put`` report
+    cache protocol (:class:`~repro.engine.cache.ReportCache` or the
+    service's SQLite-backed adapter).
+    """
+
+    name = "in-process"
+
+    def __init__(self, *, workers: int = 0, cache=None) -> None:
+        self.workers = workers
+        self.cache = cache
+
+    def solve(self, request: SolveRequest) -> SolveReport:
+        spec, kwargs = request.resolve()
+        if self.cache is not None and not request.want_schedule:
+            # single-cell batch so the configured cache is consulted and
+            # filled; want_schedule bypasses it — cached reports carry
+            # no schedule
+            (rep,) = run_batch(
+                [(request.label, request.instance)], [(spec.name, kwargs)],
+                workers=0, timeout=request.timeout, cache=self.cache)
+            return rep
+        return execute(request.instance, spec.name, kwargs,
+                       label=request.label, timeout=request.timeout,
+                       keep_schedule=request.want_schedule)
+
+    def solve_batch(self, batch: BatchRequest) -> list[SolveReport]:
+        return run_batch(batch.instances, list(batch.algorithms),
+                         workers=self.workers, timeout=batch.timeout,
+                         cache=self.cache)
+
+    def stream(self, batch: BatchRequest) -> Iterator[SolveReport]:
+        """Yield each cell's report as soon as it is solved (grid
+        order when inline, completion order under the pool). Cells that
+        repeat an identical (instance, algorithm, kwargs) triple are
+        solved once, exactly like ``run_batch``."""
+        seen: dict[str, SolveReport] = {}
+        for label, inst in batch.instances:
+            for name, kwargs in batch.algorithms:
+                key = cache_key(inst, name, kwargs)
+                if key in seen:
+                    yield relabel_hit(seen[key], label)
+                    continue
+                (rep,) = run_batch([(label, inst)], [(name, kwargs)],
+                                   workers=0, timeout=batch.timeout,
+                                   cache=self.cache)
+                seen[key] = rep
+                yield rep
+
+
+class ProcessPoolBackend(InProcessBackend):
+    """Fans batches out over the engine's process pool."""
+
+    name = "process-pool"
+
+    def __init__(self, *, workers: int | None = None, cache=None) -> None:
+        super().__init__(workers=workers or DEFAULT_WORKERS, cache=cache)
+
+    def stream(self, batch: BatchRequest) -> Iterator[SolveReport]:
+        cells = [(label, inst, name, dict(kwargs))
+                 for label, inst in batch.instances
+                 for name, kwargs in batch.algorithms]
+        if len(cells) == 1 or self.workers <= 1:
+            yield from super().stream(batch)
+            return
+        # cache hits come first, misses in completion order; dedup and
+        # cache rules are the engine's (cache_key / is_cacheable)
+        pending: list[tuple[str, str, object, str, dict]] = []
+        dup_labels: dict[str, list[str]] = {}
+        for label, inst, name, kwargs in cells:
+            key = cache_key(inst, name, kwargs)
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                yield relabel_hit(hit, label)
+            elif key in dup_labels:     # solved once, replayed per cell
+                dup_labels[key].append(label)
+            else:
+                dup_labels[key] = []
+                pending.append((key, label, inst, name, kwargs))
+        if not pending:
+            return
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))) as pool:
+            futures = {
+                pool.submit(execute, inst, name, kwargs, label=label,
+                            timeout=batch.timeout): key
+                for key, label, inst, name, kwargs in pending}
+            for fut in as_completed(futures):
+                rep = fut.result()
+                key = futures[fut]
+                if self.cache is not None and is_cacheable(rep):
+                    self.cache.put(key, rep)
+                yield rep
+                for label in dup_labels[key]:
+                    yield relabel_hit(rep, label)
+
+
+class RemoteBackend:
+    """Runs requests on a ``/v1`` scheduling service.
+
+    ``solve`` uses the synchronous ``POST /v1/solve`` endpoint; batches
+    are submitted as one job per instance and polled to completion, so
+    they land in the service's persistent queue and result cache like
+    any other client's work.
+    """
+
+    name = "remote"
+
+    def __init__(self, target: "str | ServiceClient", *,
+                 wait_timeout: float = 600.0, poll: float = 0.1) -> None:
+        from ..service.client import ServiceClient
+        self.client = (target if isinstance(target, ServiceClient)
+                       else ServiceClient(target))
+        self.wait_timeout = wait_timeout
+        self.poll = poll
+
+    def solve(self, request: SolveRequest) -> SolveReport:
+        return self.client.solve(request)
+
+    def _submit(self, batch: BatchRequest) -> list[dict]:
+        return [self.client.submit(inst, list(batch.algorithms), label=label,
+                                   timeout=batch.timeout)
+                for label, inst in batch.instances]
+
+    def solve_batch(self, batch: BatchRequest) -> list[SolveReport]:
+        reports: list[SolveReport] = []
+        for job in self._submit(batch):
+            reports.extend(self.client.wait(job["id"],
+                                            timeout=self.wait_timeout,
+                                            poll=self.poll))
+        return reports
+
+    def stream(self, batch: BatchRequest) -> Iterator[SolveReport]:
+        """Yield each instance's reports as its job finishes
+        (completion order); a server-side job failure raises
+        :class:`~repro.service.client.ServiceError` with
+        ``code="job_failed"``, exactly like ``ServiceClient.wait``."""
+        pending = {job["id"] for job in self._submit(batch)}
+        deadline = time.monotonic() + self.wait_timeout
+        while pending:
+            finished = []
+            for job_id in pending:
+                job = self.client.job(job_id)
+                if job["status"] == "failed":
+                    raise self.client.job_failure(job)
+                if job["status"] == "done":
+                    finished.append(job_id)
+                    yield from self.client.reports(job_id)
+            pending.difference_update(finished)
+            if pending:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"{len(pending)} job(s) still pending after "
+                        f"{self.wait_timeout}s")
+                # each cycle costs one GET per pending job — back off as
+                # the pending set grows so a wide batch does not hammer
+                # the threaded stdlib server
+                time.sleep(min(2.0, self.poll * max(1.0,
+                                                    len(pending) / 4)))

@@ -1,0 +1,156 @@
+"""Capability-based solver selection.
+
+A :class:`SolverQuery` names the *guarantee* a caller needs — variant,
+kind, a proven-ratio bound, an accuracy target, dependency and time
+budgets — instead of a solver implementation. The registry's capability
+methods (:func:`repro.registry.find_solvers` /
+:func:`repro.registry.select_solver`) turn the query into a concrete
+:class:`~repro.registry.SolverSpec`, ranked strongest-guarantee-first::
+
+    from repro.api import SolverQuery
+
+    q = SolverQuery(variant="nonpreemptive", max_ratio="7/3",
+                    allow_milp=False)
+    spec = q.select()               # -> the 7/3-approx, not the MILP
+
+Queries serialise to plain JSON (``to_dict``/``from_dict``), so the
+``POST /v1/solve`` endpoint accepts a ``"query"`` in place of an
+``"algorithm"``, and they parse from the CLI's compact
+``key=value,...`` form (:meth:`SolverQuery.parse`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Mapping
+
+from ..io import _frac_str
+from ..registry import (KINDS, VARIANTS, SolverSpec, find_solvers,
+                        parse_ratio_bound, select_solver)
+
+__all__ = ["SolverQuery"]
+
+
+@dataclass(frozen=True)
+class SolverQuery:
+    """What a caller needs from a solver, as registry metadata bounds.
+
+    ``max_ratio`` keeps solvers with a *proven* ratio ``<=`` the bound
+    (accepts ``Fraction``, ``"7/3"``, or a number); ``epsilon`` asks for
+    accuracy ``1 + epsilon`` (selecting a PTAS injects the epsilon into
+    its kwargs at resolve time); ``allow_milp=False`` excludes the
+    SciPy/HiGHS-backed solvers; ``time_budget`` (seconds per run) rules
+    out kinds whose :data:`~repro.registry.KIND_COST_TIERS` tier
+    exceeds it.
+    """
+
+    variant: str | None = None
+    kind: str | None = None
+    max_ratio: Fraction | None = None
+    epsilon: float | None = None
+    allow_milp: bool = True
+    time_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        # invalid queries must fail here, where they are built — not
+        # deep inside a backend or an HTTP handler at select time
+        if self.variant is not None and self.variant not in VARIANTS:
+            raise ValueError(f"unknown variant {self.variant!r}; "
+                             f"one of: {', '.join(VARIANTS)}")
+        if self.kind is not None and self.kind not in KINDS:
+            raise ValueError(f"unknown kind {self.kind!r}; "
+                             f"one of: {', '.join(KINDS)}")
+        if self.max_ratio is not None:
+            object.__setattr__(self, "max_ratio",
+                               parse_ratio_bound(self.max_ratio))
+        if self.epsilon is not None and self.epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ValueError(
+                f"time_budget must be > 0, got {self.time_budget}")
+
+    # ------------------------------------------------------------------ #
+    # selection
+    # ------------------------------------------------------------------ #
+
+    def criteria(self) -> dict[str, Any]:
+        """The query as keyword arguments for the registry methods."""
+        return {"variant": self.variant, "kind": self.kind,
+                "max_ratio": self.max_ratio, "epsilon": self.epsilon,
+                "allow_milp": self.allow_milp,
+                "time_budget": self.time_budget}
+
+    def candidates(self) -> list[SolverSpec]:
+        """Every matching solver, best guarantee first."""
+        return find_solvers(**self.criteria())
+
+    def select(self) -> SolverSpec:
+        """The single best match; raises
+        :class:`~repro.registry.NoMatchingSolverError` when none fits."""
+        return select_solver(**self.criteria())
+
+    # ------------------------------------------------------------------ #
+    # wire + CLI forms
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "kind": self.kind,
+            "max_ratio": (None if self.max_ratio is None
+                          else str(_frac_str(self.max_ratio))),
+            "epsilon": self.epsilon,
+            "allow_milp": self.allow_milp,
+            "time_budget": self.time_budget,
+        }
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "SolverQuery":
+        unknown = sorted(set(d) - {"variant", "kind", "max_ratio",
+                                   "epsilon", "allow_milp", "time_budget"})
+        if unknown:
+            raise ValueError(f"unknown query fields {unknown}")
+        return SolverQuery(
+            variant=d.get("variant"), kind=d.get("kind"),
+            max_ratio=(None if d.get("max_ratio") is None
+                       else parse_ratio_bound(d["max_ratio"])),
+            epsilon=(None if d.get("epsilon") is None
+                     else float(d["epsilon"])),
+            allow_milp=bool(d.get("allow_milp", True)),
+            time_budget=(None if d.get("time_budget") is None
+                         else float(d["time_budget"])))
+
+    @staticmethod
+    def parse(text: str) -> "SolverQuery":
+        """Parse the CLI form, e.g.
+        ``"variant=nonpreemptive,max_ratio=7/3,no_milp,budget=5"``.
+
+        Keys: ``variant``, ``kind``, ``max_ratio`` (alias ``ratio``),
+        ``epsilon`` (alias ``eps``), ``budget`` (alias ``time_budget``),
+        and the bare flag ``no_milp``.
+        """
+        fields: dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "no_milp" and not value:
+                fields["allow_milp"] = False
+            elif key in ("variant", "kind"):
+                fields[key] = value
+            elif key in ("max_ratio", "ratio"):
+                fields["max_ratio"] = parse_ratio_bound(value)
+            elif key in ("epsilon", "eps"):
+                fields["epsilon"] = float(value)
+            elif key in ("budget", "time_budget"):
+                fields["time_budget"] = float(value)
+            else:
+                raise ValueError(
+                    f"cannot parse query part {part!r}; expected "
+                    "variant=, kind=, max_ratio=, epsilon=, budget= "
+                    "or no_milp")
+        return SolverQuery(**fields)

@@ -1,0 +1,192 @@
+"""Typed request objects — the one way work enters the system.
+
+A :class:`SolveRequest` is a single (instance, solver) cell; a
+:class:`BatchRequest` is an instances x algorithms grid. Both are frozen
+and backend-agnostic: the same object runs in-process, over a process
+pool, or against a remote ``/v1`` service. Requests serialise to a
+canonical JSON form (:meth:`SolveRequest.canonical_json`) that
+round-trips byte-identically through ``POST /v1/solve``, which is what
+makes the local and remote backends interchangeable.
+
+Solvers are named either explicitly (``algorithm="nonpreemptive"``) or
+by capability (``query=SolverQuery(variant="nonpreemptive",
+max_ratio="7/3")``) — exactly one of the two.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..core.instance import Instance
+from ..engine.runner import _normalize_instances
+from ..io import instance_from_dict, instance_to_dict
+from ..registry import SolverSpec, get_solver
+from .query import SolverQuery
+
+__all__ = ["SolveRequest", "BatchRequest"]
+
+
+def _check_timeout(timeout: float | None) -> float | None:
+    """Timeouts are validated where requests are built, so every
+    backend (and the HTTP surface) rejects them identically."""
+    if timeout is None:
+        return None
+    timeout = float(timeout)
+    if timeout <= 0:
+        raise ValueError(f"'timeout' must be a positive number, "
+                         f"got {timeout:g}")
+    return timeout
+
+
+def _resolve(algorithm: str | None, query: SolverQuery | None,
+             kwargs: Mapping[str, Any]) -> tuple[SolverSpec, dict]:
+    """Turn (algorithm | query, kwargs) into a concrete (spec, kwargs).
+
+    Capability selection of a PTAS injects the query's epsilon into the
+    kwargs so the selected solver actually delivers the requested
+    accuracy.
+    """
+    spec = get_solver(algorithm) if algorithm is not None else query.select()
+    resolved = dict(kwargs)
+    if query is not None and query.epsilon is not None \
+            and "epsilon" in spec.accepts:
+        resolved.setdefault("epsilon", query.epsilon)
+    unknown = sorted(set(resolved) - set(spec.accepts))
+    if unknown:
+        raise TypeError(
+            f"solver {spec.name!r} does not accept kwargs {unknown}; "
+            f"accepted: {sorted(spec.accepts) or 'none'}")
+    return spec, resolved
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve: an instance plus a solver named by name or capability.
+
+    ``want_schedule=True`` asks the backend to attach the JSON-encoded
+    schedule to the report (``report.extra["schedule"]``) instead of
+    discarding it after validation.
+    """
+
+    instance: Instance
+    algorithm: str | None = None
+    query: SolverQuery | None = None
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+    timeout: float | None = None
+    want_schedule: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.algorithm is None) == (self.query is None):
+            raise ValueError(
+                "exactly one of 'algorithm' and 'query' must be given")
+        # normalise exactly like from_dict, so an echoed request's
+        # canonical_json() matches the original byte for byte even when
+        # the caller passed e.g. an int timeout
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+        object.__setattr__(self, "label", str(self.label))
+        object.__setattr__(self, "want_schedule", bool(self.want_schedule))
+        object.__setattr__(self, "timeout", _check_timeout(self.timeout))
+
+    def resolve(self) -> tuple[SolverSpec, dict]:
+        """The concrete (SolverSpec, kwargs) this request runs as."""
+        return _resolve(self.algorithm, self.query, self.kwargs)
+
+    # ------------------------------------------------------------------ #
+    # wire form
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "instance": instance_to_dict(self.instance),
+            "algorithm": self.algorithm,
+            "query": None if self.query is None else self.query.to_dict(),
+            "kwargs": dict(self.kwargs),
+            "label": self.label,
+            "timeout": self.timeout,
+            "want_schedule": self.want_schedule,
+        }
+
+    @staticmethod
+    def from_dict(d: Mapping[str, Any]) -> "SolveRequest":
+        if not isinstance(d, Mapping):
+            raise ValueError("a solve request must be a JSON object")
+        if "instance" not in d:
+            raise ValueError("missing 'instance'")
+        unknown = sorted(set(d) - {"instance", "algorithm", "query",
+                                   "kwargs", "label", "timeout",
+                                   "want_schedule"})
+        if unknown:
+            raise ValueError(f"unknown request fields {unknown}")
+        kwargs = d.get("kwargs") or {}
+        if not isinstance(kwargs, Mapping):
+            raise ValueError("'kwargs' must be an object")
+        timeout = d.get("timeout")
+        return SolveRequest(
+            instance=instance_from_dict(dict(d["instance"])),
+            algorithm=d.get("algorithm"),
+            query=(None if d.get("query") is None
+                   else SolverQuery.from_dict(d["query"])),
+            kwargs=dict(kwargs),
+            label=str(d.get("label") or ""),
+            timeout=None if timeout is None else float(timeout),
+            want_schedule=bool(d.get("want_schedule", False)))
+
+    def canonical_json(self) -> bytes:
+        """The request's canonical wire bytes: sorted keys, no
+        whitespace. Two requests are the same request iff these bytes
+        are equal, and ``POST /v1/solve`` echoes them back verbatim."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """An instances x algorithms grid with one shared per-run timeout.
+
+    Build with :meth:`create`, which accepts instances as ``Instance``
+    or ``(label, Instance)`` and algorithms as a registry name,
+    ``(name, kwargs)``, or a :class:`SolverQuery` (resolved to a
+    concrete solver immediately, so the grid is explicit and
+    transportable). Reports come back instance-outermost, algorithm
+    innermost — the same deterministic order on every backend.
+    """
+
+    instances: tuple[tuple[str, Instance], ...]
+    algorithms: tuple[tuple[str, Mapping[str, Any]], ...]
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "timeout", _check_timeout(self.timeout))
+
+    @staticmethod
+    def create(instances: Iterable[Instance | tuple[str, Instance]],
+               algorithms: Sequence[str | tuple[str, Mapping[str, Any]]
+                                    | SolverQuery],
+               *, timeout: float | None = None) -> "BatchRequest":
+        # the engine's normalization is the one source of truth for
+        # labels — local and raw run_batch labelling must never diverge
+        insts = _normalize_instances(instances)
+
+        algos: list[tuple[str, dict]] = []
+        for item in algorithms:
+            if isinstance(item, SolverQuery):
+                spec, kwargs = _resolve(None, item, {})
+            elif isinstance(item, str):
+                spec, kwargs = _resolve(item, None, {})
+            else:
+                name, raw_kwargs = item
+                spec, kwargs = _resolve(name, None, dict(raw_kwargs or {}))
+            algos.append((spec.name, kwargs))
+        if not algos:
+            raise ValueError("a batch needs at least one algorithm")
+        return BatchRequest(tuple(insts), tuple(algos), timeout=timeout)
+
+    def requests(self) -> list[SolveRequest]:
+        """The grid flattened into per-cell :class:`SolveRequest`\\ s."""
+        return [SolveRequest(inst, algorithm=name, kwargs=dict(kwargs),
+                             label=label, timeout=self.timeout)
+                for label, inst in self.instances
+                for name, kwargs in self.algorithms]

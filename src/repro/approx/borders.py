@@ -19,7 +19,7 @@ area bound dominates them.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Sequence
+from typing import Sequence
 
 __all__ = ["split_count", "candidate_borders", "smallest_feasible_border",
            "advanced_binary_search"]

@@ -25,7 +25,7 @@ two classes of size T" bookkeeping.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_right
 from dataclasses import dataclass
 from fractions import Fraction
 

@@ -10,7 +10,7 @@ builds on (Xavier & Miyazawa; Epstein et al.) and serves as the strongest
 
 from __future__ import annotations
 
-from ..core.bounds import area_bound, trivial_upper_bound
+from ..core.bounds import trivial_upper_bound
 from ..core.errors import InfeasibleScheduleError
 from ..core.instance import Instance
 from ..core.schedule import NonPreemptiveSchedule

@@ -14,9 +14,9 @@ feasibility checks live in :mod:`repro.core.validation`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator
 
 from .errors import InvalidInstanceError
 from .instance import Instance

@@ -20,13 +20,15 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.instance import Instance
 from .report import SolveReport
 
-__all__ = ["ReportCache", "cache_key", "DEFAULT_MAX_ENTRIES"]
+__all__ = ["ReportCache", "cache_key", "is_cacheable", "relabel_hit",
+           "CACHEABLE_STATUSES", "DEFAULT_MAX_ENTRIES"]
 
 #: Default in-memory bound: large enough for any one experiment sweep,
 #: small enough that a service holding ~1-2 KiB reports stays in the MBs.
@@ -41,6 +43,23 @@ def cache_key(inst: Instance, algorithm: str,
          "kwargs": {k: repr(v) for k, v in sorted((kwargs or {}).items())}},
         sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: Outcomes worth remembering; timeouts and crashes are retried instead.
+CACHEABLE_STATUSES = ("ok", "infeasible")
+
+
+def is_cacheable(report: SolveReport) -> bool:
+    """Whether a report may enter a result cache — one rule for every
+    consumer (``run_batch``, the api backends, the service)."""
+    return report.status in CACHEABLE_STATUSES
+
+
+def relabel_hit(report: SolveReport, label: str) -> SolveReport:
+    """A cached/duplicate report re-issued for a new batch cell: marked
+    cached, relabelled to the requesting cell, zero solver time."""
+    return replace(report, cached=True, instance_label=label,
+                   wall_time_s=0.0)
 
 
 class ReportCache:

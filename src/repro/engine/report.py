@@ -8,7 +8,7 @@ same convention :mod:`repro.io` uses for schedules.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field
 from fractions import Fraction
 from typing import Any, Mapping
 
@@ -68,9 +68,6 @@ class SolveReport:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
-
-    def as_cached(self) -> "SolveReport":
-        return replace(self, cached=True)
 
     # ------------------------------------------------------------------ #
     # JSON round-trip

@@ -32,7 +32,6 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import replace
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -40,7 +39,7 @@ from ..core.errors import InfeasibleScheduleError, InvalidInstanceError
 from ..core.instance import Instance
 from ..core.validation import validate
 from ..registry import get_solver
-from .cache import ReportCache, cache_key
+from .cache import ReportCache, cache_key, is_cacheable, relabel_hit
 from .report import SolveReport
 
 __all__ = ["run_batch", "execute", "DEFAULT_WORKERS"]
@@ -136,8 +135,15 @@ def _ratio(makespan, guess) -> float | None:
 
 def execute(inst: Instance, algorithm: str,
             kwargs: Mapping[str, Any] | None = None, *,
-            label: str = "", timeout: float | None = None) -> SolveReport:
-    """Run one algorithm on one instance; never raises for solver failures."""
+            label: str = "", timeout: float | None = None,
+            keep_schedule: bool = False) -> SolveReport:
+    """Run one algorithm on one instance; never raises for solver failures.
+
+    ``keep_schedule=True`` attaches the validated schedule to the report
+    as ``extra["schedule"]`` (the :mod:`repro.io` JSON encoding), so the
+    report stays picklable and JSON-safe; value-only solvers and
+    representation-specific compact schedules simply omit it.
+    """
     spec = get_solver(algorithm)        # unknown names fail loudly, pre-run
     kwargs = dict(kwargs or {})
     base = dict(algorithm=spec.name, instance_digest=inst.digest(),
@@ -166,10 +172,17 @@ def execute(inst: Instance, algorithm: str,
     except Exception as exc:            # noqa: BLE001 — one cell, one report
         return SolveReport(status="error", wall_time_s=elapsed(),
                            error=f"{type(exc).__name__}: {exc}", **base)
+    extra = dict(raw.extra)
+    if keep_schedule and raw.schedule is not None:
+        from ..io import schedule_to_dict
+        try:
+            extra["schedule"] = schedule_to_dict(raw.schedule)
+        except TypeError:
+            pass    # compact schedules have no portable JSON form
     return SolveReport(status="ok", makespan=makespan, guess=raw.guess,
                        certified_ratio=_ratio(makespan, raw.guess),
                        wall_time_s=elapsed(), validated=validated,
-                       extra=dict(raw.extra), **base)
+                       extra=extra, **base)
 
 
 def _execute_task(task: tuple) -> SolveReport:
@@ -238,7 +251,10 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
             i = len(tasks)
             key = cache_key(inst, name, kwargs)
             hit = cache.get(key) if cache is not None else None
-            reports.append(hit.as_cached() if hit is not None else None)
+            # hits are relabelled per cell: the cache keys on content,
+            # but the report belongs to this batch's row
+            reports.append(relabel_hit(hit, label)
+                           if hit is not None else None)
             keys.append(key)
             tasks.append((label, inst, name, kwargs, timeout))
             if hit is None:
@@ -261,12 +277,11 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
             reports[i] = _execute_task(tasks[i])
 
     for i, src in dup_of.items():
-        reports[i] = replace(reports[src], cached=True,
-                             instance_label=tasks[i][0], wall_time_s=0.0)
+        reports[i] = relabel_hit(reports[src], tasks[i][0])
 
     if cache is not None:
         for i in pending:
             rep = reports[i]
-            if rep.status in ("ok", "infeasible"):
+            if is_cacheable(rep):
                 cache.put(keys[i], rep)
     return reports      # type: ignore[return-value]

@@ -30,7 +30,6 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import lil_matrix
 
-from ..approx.borders import split_count
 from ..approx.lpt import lpt_partition
 from ..approx.splitting import split_classes
 from ..core.bounds import nonpreemptive_class_count

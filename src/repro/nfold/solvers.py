@@ -26,7 +26,6 @@ library — they are the reproduction of the paper's algorithmic substrate
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterable
 
 import numpy as np
 

@@ -21,8 +21,7 @@ programming and Graver-style augmentation) and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

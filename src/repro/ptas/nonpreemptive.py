@@ -16,10 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from math import ceil
 
-from ..core.bounds import (area_bound, nonpreemptive_lower_bound,
-                           trivial_upper_bound)
+from ..core.bounds import nonpreemptive_lower_bound, trivial_upper_bound
 from ..core.errors import (CapacityExceededError, InfeasibleGuessError,
                            InvalidInstanceError)
 from ..core.instance import Instance
@@ -28,8 +26,7 @@ from ._milp_util import FeasibilityMILP
 from .common import PTASResult, integral_guess_search
 from .configurations import (Multiset, build_configuration_space,
                              enumerate_bounded_multisets, multiset_total)
-from .rounding import GroupedInstance, IntegralRounding, group_jobs, \
-    round_grouped
+from .rounding import IntegralRounding, group_jobs, round_grouped
 from .splittable import _resolve_q
 
 __all__ = ["ptas_nonpreemptive"]

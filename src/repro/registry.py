@@ -14,6 +14,19 @@ solvers by name::
     for spec in list_solvers(variant="splittable"):
         print(spec.name, spec.ratio_label)
 
+or by *capability* — what guarantee they need rather than which
+implementation provides it::
+
+    from repro.registry import select_solver
+
+    spec = select_solver(variant="nonpreemptive",
+                         max_ratio="7/3", allow_milp=False)
+
+:func:`find_solvers` returns every match ranked best-guarantee-first;
+:func:`select_solver` picks the winner or raises
+:class:`NoMatchingSolverError`. The typed front door for this is
+:class:`repro.api.SolverQuery`.
+
 Adding a new algorithm is one ``register(...)`` call — the CLI ``list`` /
 ``batch`` / ``compare`` subcommands, the execution engine, and the README
 algorithm table pick it up automatically.
@@ -25,6 +38,7 @@ run), so ``import repro.registry`` stays light.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Iterable
@@ -37,18 +51,33 @@ __all__ = [
     "RawSolve",
     "SolverSpec",
     "UnknownSolverError",
+    "NoMatchingSolverError",
+    "find_solvers",
     "get_solver",
     "list_solvers",
+    "parse_ratio_bound",
     "register",
+    "select_solver",
     "solver_names",
+    "suggest_solvers",
 ]
 
 VARIANTS = ("splittable", "preemptive", "nonpreemptive")
 KINDS = ("approx", "ptas", "exact", "baseline")
 
+#: Coarse wall-clock tiers (seconds on a small instance) used by the
+#: capability query's ``time_budget`` filter. Deliberately pessimistic
+#: for the MILP-backed kinds: a budget below a tier rules the kind out.
+KIND_COST_TIERS = {"baseline": 0.01, "approx": 0.1, "ptas": 30.0,
+                   "exact": 60.0}
+
 
 class UnknownSolverError(CCSError, KeyError):
     """Raised when a solver name does not resolve in the registry."""
+
+
+class NoMatchingSolverError(CCSError, LookupError):
+    """Raised when no registered solver satisfies a capability query."""
 
 
 @dataclass(frozen=True)
@@ -114,15 +143,23 @@ def register(spec: SolverSpec, aliases: Iterable[str] = ()) -> SolverSpec:
     return spec
 
 
+def suggest_solvers(name: str, n: int = 3) -> list[str]:
+    """Registered names (and aliases) close to a misspelled ``name``."""
+    return difflib.get_close_matches(
+        name, solver_names(include_aliases=True), n=n, cutoff=0.5)
+
+
 def get_solver(name: str) -> SolverSpec:
     """Resolve ``name`` (or a registered alias) to its :class:`SolverSpec`."""
     key = _ALIASES.get(name, name)
     try:
         return _REGISTRY[key]
     except KeyError:
+        close = suggest_solvers(name)
+        hint = f"; did you mean {', '.join(close)}?" if close else ""
         raise UnknownSolverError(
-            f"unknown solver {name!r}; registered: "
-            f"{', '.join(solver_names())}") from None
+            f"unknown solver {name!r}{hint} (registered: "
+            f"{', '.join(solver_names())})") from None
 
 
 def list_solvers(variant: str | None = None,
@@ -141,6 +178,111 @@ def solver_names(include_aliases: bool = False) -> list[str]:
     if include_aliases:
         names += list(_ALIASES)
     return names
+
+
+# --------------------------------------------------------------------- #
+# capability queries
+# --------------------------------------------------------------------- #
+
+def parse_ratio_bound(bound: Fraction | str | int | float) -> Fraction:
+    """The one parser for ratio bounds everywhere (registry queries,
+    :class:`repro.api.SolverQuery`, the HTTP wire): a number, a decimal
+    string, or exact ``"num/den"``; must be positive."""
+    try:
+        if isinstance(bound, str):
+            num, _, den = bound.partition("/")
+            ratio = (Fraction(int(num), int(den)) if den
+                     else Fraction(num))
+        else:
+            ratio = Fraction(bound)
+    except (ValueError, TypeError, ZeroDivisionError):
+        raise ValueError(f"invalid ratio bound {bound!r}; expected a "
+                         "number or 'num/den'")
+    if ratio <= 0:
+        raise ValueError(f"ratio bound must be > 0, got {bound!r}")
+    return ratio
+
+
+def effective_ratio(spec: SolverSpec,
+                    epsilon: float | None = None) -> Fraction | None:
+    """The guarantee ``spec`` can certify for a capability query.
+
+    Exact solvers are 1. A PTAS has no fixed ratio — it becomes
+    ``1 + epsilon`` once the query names an accuracy, and no guarantee
+    at all otherwise. Constant-factor algorithms carry their theorem
+    ratio; baselines carry ``None``.
+    """
+    if spec.kind == "exact":
+        return Fraction(1)
+    if spec.kind == "ptas":
+        return None if epsilon is None else 1 + Fraction(epsilon)
+    return spec.ratio
+
+
+def find_solvers(*, variant: str | None = None, kind: str | None = None,
+                 max_ratio: Fraction | str | int | float | None = None,
+                 epsilon: float | None = None, allow_milp: bool = True,
+                 time_budget: float | None = None) -> list[SolverSpec]:
+    """Every registered solver satisfying the capability constraints,
+    ranked best first.
+
+    Filters: ``variant``/``kind`` match the metadata exactly;
+    ``max_ratio`` keeps solvers whose :func:`effective_ratio` is proven
+    and ``<=`` the bound; ``epsilon`` asks for accuracy ``1 + epsilon``
+    (PTASes qualify and will be run with that epsilon, exact solvers
+    always qualify, constant-factor ones only when their ratio fits);
+    ``allow_milp=False`` drops anything needing the SciPy/HiGHS backend;
+    ``time_budget`` (seconds per run) excludes kinds whose
+    :data:`KIND_COST_TIERS` tier exceeds it.
+
+    Ranking: strongest proven guarantee first (unproven last), ties
+    broken by lighter dependencies (no MILP first) and then registration
+    order — so the result is deterministic.
+    """
+    if variant is not None and variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    if kind is not None and kind not in KINDS:
+        raise ValueError(f"unknown kind {kind!r}")
+    bound = parse_ratio_bound(max_ratio) if max_ratio is not None else None
+    if epsilon is not None:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        eps_bound = 1 + Fraction(epsilon)
+        bound = eps_bound if bound is None else min(bound, eps_bound)
+
+    out = []
+    for order, spec in enumerate(_REGISTRY.values()):
+        if variant is not None and spec.variant != variant:
+            continue
+        if kind is not None and spec.kind != kind:
+            continue
+        if not allow_milp and spec.needs_milp:
+            continue
+        if time_budget is not None \
+                and KIND_COST_TIERS[spec.kind] > time_budget:
+            continue
+        ratio = effective_ratio(spec, epsilon)
+        if bound is not None and (ratio is None or ratio > bound):
+            continue
+        rank = (0 if ratio is not None else 1,
+                ratio if ratio is not None else Fraction(0),
+                1 if spec.needs_milp else 0, order)
+        out.append((rank, spec))
+    out.sort(key=lambda pair: pair[0])
+    return [spec for _, spec in out]
+
+
+def select_solver(**criteria: Any) -> SolverSpec:
+    """The best solver for a capability query (see :func:`find_solvers`),
+    or :class:`NoMatchingSolverError` when nothing qualifies."""
+    found = find_solvers(**criteria)
+    if not found:
+        described = ", ".join(f"{k}={v!r}" for k, v in criteria.items()
+                              if v is not None)
+        raise NoMatchingSolverError(
+            f"no registered solver matches {described or 'the query'}; "
+            f"see `repro list` for the registry")
+    return found[0]
 
 
 # --------------------------------------------------------------------- #

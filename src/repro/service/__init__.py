@@ -6,14 +6,19 @@ server: clients submit class-constrained scheduling work over HTTP,
 poll it, and share solved results through a digest-indexed report store
 that survives restarts.
 
+The HTTP surface is versioned: the stable routes live under ``/v1``
+with a uniform error envelope; the original unversioned routes remain
+as deprecated aliases (see :mod:`repro.service.server`).
+
 * :class:`~repro.service.store.JobStore` — SQLite persistence for jobs,
   their reports and the cross-client result cache.
 * :class:`~repro.service.queue.JobQueue` — thread-safe priority queue
-  draining into :func:`repro.engine.run_batch`.
+  draining each job through a :class:`repro.api.Session`.
 * :class:`~repro.service.server.SchedulingService` / ``serve`` — the
   stdlib threaded HTTP/JSON API (``repro serve``).
 * :class:`~repro.service.client.ServiceClient` — the Python client
-  (``repro submit``, tests, examples).
+  (``repro submit``, tests, examples, and the remote backend of
+  :class:`repro.api.Session`).
 """
 
 from .client import ServiceClient, ServiceError

@@ -1,9 +1,15 @@
 """Python client for the scheduling service (stdlib ``urllib`` only).
 
-Used by the test suite, ``repro submit`` and the examples; any other
-HTTP client works just as well — the API is plain JSON (see
-:mod:`repro.service.server` for the routes and curl examples in the
-README).
+Speaks the versioned ``/v1`` API: the uniform error envelope is decoded
+into :class:`ServiceError` (with its machine-readable ``code``),
+``GET /v1/jobs`` pagination is exposed via :meth:`ServiceClient.jobs_page`,
+and :meth:`ServiceClient.solve` drives the synchronous ``POST /v1/solve``
+endpoint with a :class:`repro.api.SolveRequest`.
+
+Used by the test suite, ``repro submit``, the examples and the remote
+backend of :class:`repro.api.Session`; any other HTTP client works just
+as well — the API is plain JSON (see :mod:`repro.service.server` for the
+routes and curl examples in the README).
 
 ::
 
@@ -21,30 +27,64 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..core.instance import Instance
 from ..engine.report import SolveReport
 from ..io import instance_to_dict
 
+if TYPE_CHECKING:    # pragma: no cover - typing only
+    from ..api import SolveRequest
+
 __all__ = ["ServiceClient", "ServiceError"]
 
 
 class ServiceError(RuntimeError):
-    """An HTTP error from the service, with its decoded JSON body."""
+    """An HTTP error from the service, with its decoded error envelope.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``code`` is the machine-readable envelope code (``unknown_solver``,
+    ``not_found``, ...), or ``""`` for pre-envelope/legacy bodies.
+    """
+
+    def __init__(self, status: int, message: str, *, code: str = "",
+                 detail: Any = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.code = code
+        self.detail = detail
+
+
+def _decode_error(status: int, payload: Any) -> ServiceError:
+    err = payload.get("error") if isinstance(payload, dict) else None
+    if isinstance(err, dict):       # the /v1 envelope
+        return ServiceError(status, str(err.get("message", "")),
+                            code=str(err.get("code", "")),
+                            detail=err.get("detail"))
+    if isinstance(err, str):        # legacy flat shape
+        return ServiceError(status, err)
+    return ServiceError(status, str(payload))
 
 
 class ServiceClient:
-    """Minimal blocking client for one service endpoint."""
+    """Minimal blocking client for one service endpoint.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    ``api_prefix`` selects the surface; the default is the versioned
+    ``/v1`` routes. Pass ``api_prefix=""`` to talk to the deprecated
+    legacy aliases of an old server. ``sync_solve_budget`` is how long
+    the server may spend on a ``POST /v1/solve`` submitted without its
+    own timeout — match it to the server's ``--timeout`` when that is
+    raised above the 60s default, or the client socket closes while the
+    server is still solving.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 api_prefix: str = "/v1",
+                 sync_solve_budget: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.api_prefix = api_prefix
+        self.sync_solve_budget = sync_solve_budget
 
     # ------------------------------------------------------------------ #
     # transport
@@ -55,10 +95,10 @@ class ServiceClient:
                   ConnectionAbortedError)
     _RETRIES = 3
 
-    def _request(self, method: str, path: str,
-                 body: dict | None = None) -> Any:
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 transport_timeout: float | None = None) -> Any:
         req = urllib.request.Request(
-            self.base_url + path, method=method,
+            self.base_url + self.api_prefix + path, method=method,
             data=json.dumps(body).encode() if body is not None else None,
             headers={"Content-Type": "application/json"})
         # GETs are idempotent, so a connection dropped under load is
@@ -66,16 +106,16 @@ class ServiceClient:
         attempts = self._RETRIES if method == "GET" else 1
         for attempt in range(attempts):
             try:
-                with urllib.request.urlopen(req,
-                                            timeout=self.timeout) as resp:
+                with urllib.request.urlopen(
+                        req,
+                        timeout=transport_timeout or self.timeout) as resp:
                     return json.loads(resp.read())
             except urllib.error.HTTPError as exc:
                 try:
                     payload = json.loads(exc.read())
-                    message = payload.get("error", str(payload))
                 except (json.JSONDecodeError, ValueError):
-                    message = exc.reason
-                raise ServiceError(exc.code, message) from None
+                    payload = {"error": str(exc.reason)}
+                raise _decode_error(exc.code, payload) from None
             except self._RETRIABLE:
                 if attempt == attempts - 1:
                     raise
@@ -91,11 +131,29 @@ class ServiceClient:
     # API
     # ------------------------------------------------------------------ #
 
+    def solve(self, request: "SolveRequest") -> SolveReport:
+        """``POST /v1/solve`` — synchronous solve of one small instance."""
+        return SolveReport.from_dict(self.solve_raw(request)["report"])
+
+    def solve_raw(self, request: "SolveRequest") -> dict:
+        """``POST /v1/solve``, returning the raw payload — the canonical
+        echo of the request under ``"request"`` plus its ``"report"``.
+
+        The transport deadline outlasts the server-side solve budget
+        (``request.timeout``, or ``sync_solve_budget`` when unset): a
+        POST is never retried, so closing the socket early would lose
+        the report of a solve the server finishes anyway."""
+        budget = (request.timeout if request.timeout is not None
+                  else self.sync_solve_budget)
+        return self._request("POST", "/solve", request.to_dict(),
+                             transport_timeout=max(self.timeout,
+                                                   budget + 10.0))
+
     def submit(self, inst: Instance | Mapping[str, Any],
                algorithms: Iterable[str | tuple[str, Mapping[str, Any]]],
                *, label: str = "", priority: int = 0,
                timeout: float | None = None) -> dict:
-        """``POST /jobs``; returns the created job record as a dict."""
+        """``POST /v1/jobs``; returns the created job record as a dict."""
         algos: list[Any] = []
         for item in algorithms:
             if isinstance(item, str):
@@ -113,34 +171,49 @@ class ServiceClient:
         return self._request("POST", "/jobs", body)
 
     def job(self, job_id: str) -> dict:
-        """``GET /jobs/{id}``."""
+        """``GET /v1/jobs/{id}``."""
         return self._request("GET", f"/jobs/{job_id}")
 
-    def jobs(self, status: str | None = None, limit: int = 100) -> list[dict]:
-        """``GET /jobs``."""
-        path = f"/jobs?limit={limit}"
+    def jobs_page(self, status: str | None = None, limit: int = 50,
+                  offset: int = 0) -> dict:
+        """``GET /v1/jobs`` — one page plus pagination metadata
+        (``total``, ``limit``, ``offset``, ``next_offset``)."""
+        path = f"/jobs?limit={limit}&offset={offset}"
         if status is not None:
             path += f"&status={status}"
-        return self._request("GET", path)["jobs"]
+        return self._request("GET", path)
+
+    def jobs(self, status: str | None = None, limit: int = 50,
+             offset: int = 0) -> list[dict]:
+        """``GET /v1/jobs``, just the records of one page."""
+        return self.jobs_page(status, limit, offset)["jobs"]
 
     def reports(self, job_id: str) -> list[SolveReport]:
-        """``GET /jobs/{id}/reports``, decoded back into SolveReports
+        """``GET /v1/jobs/{id}/reports``, decoded back into SolveReports
         (fractions arrive exact thanks to the num/den wire encoding)."""
         payload = self._request("GET", f"/jobs/{job_id}/reports")
         return [SolveReport.from_dict(d) for d in payload["reports"]]
 
     def results_for_digest(self, digest: str) -> list[SolveReport]:
-        """``GET /results/{digest}`` — the cross-client cache view."""
+        """``GET /v1/results/{digest}`` — the cross-client cache view."""
         payload = self._request("GET", f"/results/{digest}")
         return [SolveReport.from_dict(d) for d in payload["reports"]]
 
     def solvers(self) -> list[dict]:
-        """``GET /solvers``."""
+        """``GET /v1/solvers``."""
         return self._request("GET", "/solvers")["solvers"]
 
     def health(self) -> dict:
-        """``GET /healthz``."""
+        """``GET /v1/healthz``."""
         return self._request("GET", "/healthz")
+
+    @staticmethod
+    def job_failure(job: Mapping[str, Any]) -> ServiceError:
+        """The one way a failed job becomes an exception — ``wait`` and
+        the remote Session backend must agree on ``code=\"job_failed\"``."""
+        return ServiceError(500, f"job {job['id']} failed: "
+                                 f"{job.get('error', '')}",
+                            code="job_failed")
 
     def wait(self, job_id: str, *, timeout: float = 60.0,
              poll: float = 0.05) -> list[SolveReport]:
@@ -156,8 +229,7 @@ class ServiceClient:
             if job["status"] == "done":
                 return self.reports(job_id)
             if job["status"] == "failed":
-                raise ServiceError(500, f"job {job_id} failed: "
-                                        f"{job.get('error', '')}")
+                raise self.job_failure(job)
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {job['status']} after {timeout}s")

@@ -3,10 +3,10 @@
 The queue owns N drainer threads. Each pops the highest-priority queued
 job (FIFO within a priority level), marks it ``running`` in the
 :class:`~repro.service.store.JobStore`, runs its instance x algorithms
-grid through :func:`repro.engine.run_batch`, and persists the resulting
-reports. The engine cache hook points at the store's ``results`` table,
-so repeated digests are served without solver work — across jobs,
-clients and restarts.
+grid through a :class:`repro.api.Session` (the same facade every other
+consumer uses), and persists the resulting reports. The session's cache
+hook points at the store's ``results`` table, so repeated digests are
+served without solver work — across jobs, clients and restarts.
 
 Drainers are plain threads, not the main thread, so the engine's
 ``SIGALRM`` timeout cannot arm for inline solves; per-run timeouts here
@@ -22,15 +22,15 @@ import itertools
 import threading
 from typing import Any, Iterable, Mapping
 
+from ..api import BatchRequest, Session
 from ..core.instance import Instance
-from ..engine import run_batch
 from .store import JobRecord, JobStore, SqliteReportCache
 
 __all__ = ["JobQueue"]
 
 
 class JobQueue:
-    """Priority queue feeding persisted jobs to ``run_batch``.
+    """Priority queue feeding persisted jobs to a ``repro.api.Session``.
 
     Parameters
     ----------
@@ -41,9 +41,9 @@ class JobQueue:
         Number of worker threads consuming jobs (0 = accept-only, useful
         for tests and draining-paused maintenance).
     engine_workers:
-        ``workers`` forwarded to ``run_batch`` per job. The default 0
-        solves inline on the drainer thread — one process, ``drainers``
-        concurrent solves; raise it to fan each job out over processes.
+        Process fan-out per job. The default 0 solves inline on the
+        drainer thread — one process, ``drainers`` concurrent solves;
+        raise it to fan each job out over processes.
     default_timeout:
         Per-run timeout (seconds) for jobs submitted without their own.
     """
@@ -58,6 +58,7 @@ class JobQueue:
         self.drainers = drainers
         self.engine_workers = engine_workers
         self.default_timeout = default_timeout
+        self._session = Session(workers=engine_workers, cache=self.cache)
         self._heap: list[tuple[int, int, str]] = []   # (-prio, seq, job_id)
         self._seq = itertools.count()
         self._cv = threading.Condition()
@@ -157,10 +158,9 @@ class JobQueue:
             return      # deleted, finished, or another drainer won the id
         job = self.store.get_job(job_id)
         try:
-            reports = run_batch(
+            reports = self._session.solve_batch(BatchRequest.create(
                 [(job.label or job_id, job.instance)], list(job.algorithms),
-                workers=self.engine_workers, timeout=job.timeout,
-                cache=self.cache)
+                timeout=job.timeout))
             self.store.finish_job(job_id, reports)
         except Exception as exc:    # noqa: BLE001 — job fails, queue lives
             self.store.finish_job(job_id, [],

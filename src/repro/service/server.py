@@ -1,29 +1,55 @@
 """Stdlib-only threaded HTTP/JSON API over the job queue.
 
-Endpoints::
+The stable, versioned surface lives under ``/v1``::
 
-    POST /jobs                submit one instance x algorithms job
-    GET  /jobs                recent jobs (?status=queued&limit=50)
-    GET  /jobs/{id}           job status + timestamps
-    GET  /jobs/{id}/reports   the job's SolveReports (?format=ndjson
+    POST /v1/solve            synchronous solve of one small instance
+                              (a repro.api SolveRequest body; echoes the
+                              canonical request plus its SolveReport)
+    POST /v1/jobs             submit one instance x algorithms job
+    GET  /v1/jobs             paginated jobs (?status=&limit=&offset=)
+    GET  /v1/jobs/{id}        job status + timestamps
+    GET  /v1/jobs/{id}/reports the job's SolveReports (?format=ndjson
                               or Accept: application/x-ndjson streams
                               one report per line)
-    GET  /results/{digest}    every cached report for an instance
+    GET  /v1/results/{digest} every cached report for an instance
                               content hash (cross-client cache view)
-    GET  /solvers             the solver registry, rendered to JSON
-    GET  /healthz             queue depth, job counts, cache hit rate
+    GET  /v1/solvers          the solver registry, rendered to JSON
+    GET  /v1/healthz          queue depth, job counts, cache hit rate
 
-``POST /jobs`` body::
+Every ``/v1`` error is a uniform envelope::
+
+    {"error": {"code": "unknown_solver",
+               "message": "unknown solver 'splitable'; ...",
+               "detail": {"suggestions": ["splittable", ...]}}}
+
+with status-appropriate codes: ``invalid_json``, ``invalid_request``,
+``unknown_solver``, ``no_matching_solver``, ``too_large`` (400),
+``not_found`` (404), ``not_ready`` (409), ``body_too_large`` (413).
+
+The pre-versioning routes (``/jobs``, ``/solvers``, ...) remain as thin
+**deprecated** aliases with their original flat ``{"error": "..."}``
+bodies, so older clients keep working; they answer with a
+``Deprecation: true`` header and a ``Link`` to their ``/v1`` successor.
+
+``POST /v1/jobs`` body::
 
     {"instance": {"processing_times": [...], "classes": [...],
                   "machines": 4, "class_slots": 2},
      "algorithms": ["splittable", ["ptas-splittable", {"delta": 2}]],
      "label": "demo", "priority": 5, "timeout": 30.0}
 
+``POST /v1/solve`` takes a :class:`repro.api.SolveRequest` body — the
+solver may be named (``"algorithm"``) or capability-selected
+(``"query"``)::
+
+    {"instance": {...}, "query": {"variant": "nonpreemptive",
+                                  "max_ratio": "7/3"}}
+
 Everything is ``http.server`` + ``json`` — no web framework, so the
 service runs anywhere the package does. The HTTP layer is deliberately
 thin: every handler delegates to :class:`~repro.service.store.JobStore`
-/ :class:`~repro.service.queue.JobQueue`, which own all state.
+/ :class:`~repro.service.queue.JobQueue` (and, for synchronous solves,
+an in-process :class:`repro.api.Session`), which own all state.
 """
 
 from __future__ import annotations
@@ -31,27 +57,57 @@ from __future__ import annotations
 import json
 import threading
 import time
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..api import Session, SolveRequest
 from ..core.errors import InvalidInstanceError
 from ..io import instance_from_dict
-from ..registry import UnknownSolverError, get_solver, list_solvers
+from ..registry import (NoMatchingSolverError, UnknownSolverError,
+                        get_solver, list_solvers, suggest_solvers)
 from .queue import JobQueue
-from .store import JobStore
+from .store import JOB_STATUSES, JobStore
 
-__all__ = ["SchedulingService", "serve"]
+__all__ = ["SchedulingService", "serve",
+           "API_VERSION", "MAX_BODY_BYTES", "SYNC_SOLVE_MAX_JOBS"]
 
 NDJSON = "application/x-ndjson"
 
+API_VERSION = "v1"
 
-class _BadRequest(Exception):
-    """Maps to a 400 with the message as the JSON error body."""
+#: Largest accepted request body. Instances past this belong in files,
+#: not JSON-over-HTTP.
+MAX_BODY_BYTES = 1 << 20
+
+#: ``POST /v1/solve`` is for interactive-scale instances; bigger ones
+#: must go through the asynchronous job queue.
+SYNC_SOLVE_MAX_JOBS = 512
+
+#: Jobs-per-page bounds for ``GET /v1/jobs``.
+DEFAULT_PAGE_LIMIT = 50
+MAX_PAGE_LIMIT = 500
+
+
+class _ApiError(Exception):
+    """An HTTP error with its envelope fields."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 detail: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+
+def _bad(code: str, message: str, detail: Any = None) -> _ApiError:
+    return _ApiError(400, code, message, detail)
 
 
 def _parse_algorithms(raw: Any) -> list[tuple[str, dict]]:
     if not isinstance(raw, list) or not raw:
-        raise _BadRequest("'algorithms' must be a non-empty list")
+        raise _bad("invalid_request", "'algorithms' must be a non-empty list")
     out: list[tuple[str, dict]] = []
     for item in raw:
         if isinstance(item, str):
@@ -60,16 +116,19 @@ def _parse_algorithms(raw: Any) -> list[tuple[str, dict]]:
                 and isinstance(item[0], str) and isinstance(item[1], dict):
             name, kwargs = item
         else:
-            raise _BadRequest(
+            raise _bad(
+                "invalid_request",
                 f"algorithm entries are 'name' or ['name', {{kwargs}}]; "
                 f"got {item!r}")
         try:
             spec = get_solver(name)     # unknown names fail at submit time
         except UnknownSolverError as exc:
-            raise _BadRequest(str(exc.args[0]))
+            raise _bad("unknown_solver", str(exc.args[0]),
+                       {"name": name, "suggestions": suggest_solvers(name)})
         unknown = sorted(set(kwargs) - set(spec.accepts))
         if unknown:
-            raise _BadRequest(
+            raise _bad(
+                "invalid_request",
                 f"solver {spec.name!r} does not accept kwargs {unknown}")
         out.append((spec.name, dict(kwargs)))
     return out
@@ -77,20 +136,20 @@ def _parse_algorithms(raw: Any) -> list[tuple[str, dict]]:
 
 def _parse_submission(body: dict) -> dict:
     if not isinstance(body, dict):
-        raise _BadRequest("body must be a JSON object")
+        raise _bad("invalid_request", "body must be a JSON object")
     if "instance" not in body:
-        raise _BadRequest("missing 'instance'")
+        raise _bad("invalid_request", "missing 'instance'")
     try:
         inst = instance_from_dict(body["instance"])
     except (InvalidInstanceError, KeyError, TypeError, ValueError) as exc:
-        raise _BadRequest(f"invalid instance: {exc}")
+        raise _bad("invalid_request", f"invalid instance: {exc}")
     timeout = body.get("timeout")
     if timeout is not None and (not isinstance(timeout, (int, float))
                                 or timeout <= 0):
-        raise _BadRequest("'timeout' must be a positive number")
+        raise _bad("invalid_request", "'timeout' must be a positive number")
     priority = body.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
-        raise _BadRequest("'priority' must be an integer")
+        raise _bad("invalid_request", "'priority' must be an integer")
     return dict(inst=inst,
                 algorithms=_parse_algorithms(body.get("algorithms")),
                 label=str(body.get("label", "")), priority=priority,
@@ -104,9 +163,24 @@ def _solver_dict(spec) -> dict:
             "accepts": list(spec.accepts), "summary": spec.summary}
 
 
+def _split_version(path: str) -> tuple[bool, str]:
+    """``/v1/jobs`` -> (True, "/jobs"); ``/jobs`` -> (False, "/jobs")."""
+    if path == "/v1":
+        return True, "/"
+    if path.startswith("/v1/"):
+        return True, path[len("/v1"):]
+    return False, path
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "_HTTPServer"
+
+    #: Set per request: False while serving a legacy (unversioned) alias,
+    #: which switches error bodies to the pre-/v1 flat shape and stamps
+    #: deprecation headers on every response.
+    _v1 = True
+    _successor = ""
 
     # ------------------------------------------------------------------ #
     # plumbing
@@ -116,32 +190,57 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.service.quiet:   # pragma: no cover - logging
             super().log_message(fmt, *args)
 
-    def _send_json(self, payload: Any, status: int = 200) -> None:
-        data = json.dumps(payload, indent=2).encode() + b"\n"
+    def _send_payload(self, data: bytes, content_type: str,
+                      status: int = 200) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if not self._v1:
+            self.send_header("Deprecation", "true")
+            self.send_header("Link",
+                             f'<{self._successor}>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(data)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status)
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        self._send_payload(json.dumps(payload, indent=2).encode() + b"\n",
+                           "application/json", status)
+
+    def _send_api_error(self, exc: _ApiError) -> None:
+        if self._v1:
+            body: dict = {"error": {"code": exc.code,
+                                    "message": exc.message,
+                                    "detail": exc.detail}}
+        else:
+            # the flat pre-/v1 shape older clients parse
+            body = {"error": exc.message}
+            if isinstance(exc.detail, dict) and "status" in exc.detail:
+                body["status"] = exc.detail["status"]
+        self._send_json(body, exc.status)
 
     def _drain_body(self) -> bytes:
         # the body is always consumed, even for requests that error out:
         # leaving it unread would desync the next request on a reused
         # keep-alive connection (protocol_version is HTTP/1.1)
         length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # too big to drain politely — drop the connection after the
+            # error instead of reading megabytes we will reject anyway
+            self.close_connection = True
+            raise _ApiError(
+                413, "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
         return self.rfile.read(length) if length > 0 else b""
 
     @staticmethod
     def _parse_body(raw: bytes) -> dict:
         if not raw:
-            raise _BadRequest("missing request body")
+            raise _bad("invalid_json", "missing request body")
         try:
             return json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise _BadRequest(f"body is not valid JSON: {exc}")
+            raise _bad("invalid_json", f"body is not valid JSON: {exc}")
 
     def _query(self) -> tuple[str, dict[str, str]]:
         path, _, query = self.path.partition("?")
@@ -152,87 +251,156 @@ class _Handler(BaseHTTPRequestHandler):
                 params[k] = v
         return path.rstrip("/") or "/", params
 
+    def _int_param(self, params: dict[str, str], key: str,
+                   default: int, lo: int = 0,
+                   hi: int | None = None) -> int:
+        if key not in params:
+            return default
+        try:
+            value = int(params[key])
+        except ValueError:
+            raise _bad("invalid_request",
+                       f"'{key}' must be an integer, got {params[key]!r}")
+        if value < lo or (hi is not None and value > hi):
+            bounds = f"in [{lo}, {hi}]" if hi is not None else f">= {lo}"
+            raise _bad("invalid_request",
+                       f"'{key}' must be {bounds}, got {value}")
+        return value
+
     # ------------------------------------------------------------------ #
     # routes
     # ------------------------------------------------------------------ #
 
     def do_GET(self) -> None:       # noqa: N802 — http.server API
         path, params = self._query()
+        self._v1, sub = _split_version(path)
+        self._successor = f"/{API_VERSION}{sub}"
         try:
-            if path == "/healthz":
-                return self._send_json(self.server.service.health())
-            if path == "/solvers":
-                return self._send_json(
-                    {"solvers": [_solver_dict(s) for s in list_solvers()]})
-            if path == "/jobs":
-                status = params.get("status")
-                try:
-                    limit = int(params.get("limit", "100"))
-                except ValueError:
-                    raise _BadRequest(
-                        f"'limit' must be an integer, "
-                        f"got {params['limit']!r}")
-                jobs = self.server.service.store.list_jobs(status=status,
-                                                           limit=limit)
-                return self._send_json({"jobs": [j.to_dict() for j in jobs]})
-            parts = path.lstrip("/").split("/")
-            if parts[0] == "jobs" and len(parts) == 2:
-                return self._get_job(parts[1])
-            if parts[0] == "jobs" and len(parts) == 3 \
-                    and parts[2] == "reports":
-                return self._get_reports(parts[1], params)
-            if parts[0] == "results" and len(parts) == 2:
-                reps = self.server.service.store.cached_reports_for_digest(
-                    parts[1])
-                return self._send_json(
-                    {"instance_digest": parts[1],
-                     "reports": [r.to_dict() for r in reps]})
-            self._send_error_json(404, f"no route for GET {path}")
-        except _BadRequest as exc:
-            self._send_error_json(400, str(exc))
+            self._route_get(sub, params)
+        except _ApiError as exc:
+            self._send_api_error(exc)
 
     def do_POST(self) -> None:      # noqa: N802 — http.server API
         path, _ = self._query()
-        raw = self._drain_body()
+        self._v1, sub = _split_version(path)
+        self._successor = f"/{API_VERSION}{sub}"
         try:
-            if path == "/jobs":
-                sub = _parse_submission(self._parse_body(raw))
-                job = self.server.service.queue.submit(
-                    sub["inst"], sub["algorithms"], label=sub["label"],
-                    priority=sub["priority"], timeout=sub["timeout"])
-                return self._send_json(job.to_dict(), 201)
-            self._send_error_json(404, f"no route for POST {path}")
-        except _BadRequest as exc:
-            self._send_error_json(400, str(exc))
+            raw = self._drain_body()
+            if sub == "/jobs":
+                return self._post_job(raw)
+            if sub == "/solve" and self._v1:
+                return self._post_solve(raw)
+            raise _ApiError(404, "not_found", f"no route for POST {path}")
+        except _ApiError as exc:
+            self._send_api_error(exc)
+
+    def _route_get(self, sub: str, params: dict[str, str]) -> None:
+        if sub == "/healthz":
+            return self._send_json(self.server.service.health())
+        if sub == "/solvers":
+            return self._send_json(
+                {"solvers": [_solver_dict(s) for s in list_solvers()]})
+        if sub == "/jobs":
+            return self._get_jobs(params)
+        parts = sub.lstrip("/").split("/")
+        if parts[0] == "jobs" and len(parts) == 2:
+            return self._get_job(parts[1])
+        if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "reports":
+            return self._get_reports(parts[1], params)
+        if parts[0] == "results" and len(parts) == 2:
+            reps = self.server.service.store.cached_reports_for_digest(
+                parts[1])
+            return self._send_json(
+                {"instance_digest": parts[1],
+                 "reports": [r.to_dict() for r in reps]})
+        raise _ApiError(404, "not_found", f"no route for GET {sub}")
+
+    def _get_jobs(self, params: dict[str, str]) -> None:
+        store = self.server.service.store
+        if not self._v1:
+            # the pre-/v1 contract: default 100, any integer limit, any
+            # status string (unknown ones just match nothing), no
+            # pagination metadata — old clients must keep working
+            limit = self._int_param(params, "limit", 100,
+                                    lo=-(1 << 62), hi=None)
+            jobs = store.list_jobs(status=params.get("status"),
+                                   limit=limit)
+            return self._send_json({"jobs": [j.to_dict() for j in jobs]})
+        status = params.get("status")
+        if status is not None and status not in JOB_STATUSES:
+            raise _bad("invalid_request",
+                       f"unknown status {status!r}; "
+                       f"one of: {', '.join(JOB_STATUSES)}")
+        limit = self._int_param(params, "limit", DEFAULT_PAGE_LIMIT,
+                                lo=1, hi=MAX_PAGE_LIMIT)
+        offset = self._int_param(params, "offset", 0, lo=0)
+        jobs = store.list_jobs(status=status, limit=limit, offset=offset)
+        total = store.count_jobs(status=status)
+        nxt = offset + len(jobs)
+        self._send_json({"jobs": [j.to_dict() for j in jobs],
+                         "total": total, "limit": limit, "offset": offset,
+                         "next_offset": nxt if nxt < total else None})
+
+    def _post_job(self, raw: bytes) -> None:
+        sub = _parse_submission(self._parse_body(raw))
+        job = self.server.service.queue.submit(
+            sub["inst"], sub["algorithms"], label=sub["label"],
+            priority=sub["priority"], timeout=sub["timeout"])
+        self._send_json(job.to_dict(), 201)
+
+    def _post_solve(self, raw: bytes) -> None:
+        body = self._parse_body(raw)
+        try:
+            request = SolveRequest.from_dict(body)
+        except (InvalidInstanceError, KeyError, TypeError,
+                ValueError) as exc:
+            raise _bad("invalid_request", f"invalid solve request: {exc}")
+        if request.instance.num_jobs > SYNC_SOLVE_MAX_JOBS:
+            raise _bad(
+                "too_large",
+                f"synchronous solves are capped at {SYNC_SOLVE_MAX_JOBS} "
+                f"jobs (got {request.instance.num_jobs}); submit the "
+                f"instance to POST /{API_VERSION}/jobs instead")
+        try:
+            # solver resolution happens inside the backend, exactly
+            # once; its failures map to envelope codes here
+            report = self.server.service.solve_sync(request)
+        except UnknownSolverError as exc:
+            raise _bad("unknown_solver", str(exc.args[0]),
+                       {"name": request.algorithm,
+                        "suggestions": suggest_solvers(
+                            request.algorithm or "")})
+        except NoMatchingSolverError as exc:
+            raise _bad("no_matching_solver", str(exc),
+                       request.query.to_dict())
+        except (TypeError, ValueError) as exc:
+            raise _bad("invalid_request", str(exc))
+        self._send_json({"request": request.to_dict(),
+                         "report": report.to_dict()})
 
     def _get_job(self, job_id: str) -> None:
         job = self.server.service.store.get_job(job_id)
         if job is None:
-            return self._send_error_json(404, f"no job {job_id!r}")
+            raise _ApiError(404, "not_found", f"no job {job_id!r}")
         self._send_json(job.to_dict())
 
     def _get_reports(self, job_id: str, params: dict[str, str]) -> None:
         store = self.server.service.store
         job = store.get_job(job_id)
         if job is None:
-            return self._send_error_json(404, f"no job {job_id!r}")
+            raise _ApiError(404, "not_found", f"no job {job_id!r}")
         if job.status not in ("done", "failed"):
-            return self._send_json(
-                {"error": f"job {job_id} is {job.status}; reports are "
-                          "available once it is done", "status": job.status},
-                409)
+            raise _ApiError(
+                409, "not_ready",
+                f"job {job_id} is {job.status}; reports are available "
+                f"once it is done", {"status": job.status})
         reports = store.reports_for(job_id)
         ndjson = params.get("format") == "ndjson" or \
             NDJSON in (self.headers.get("Accept") or "")
         if ndjson:
             data = b"".join(json.dumps(r.to_dict()).encode() + b"\n"
                             for r in reports)
-            self.send_response(200)
-            self.send_header("Content-Type", NDJSON)
-            self.send_header("Content-Length", str(len(data)))
-            self.end_headers()
-            self.wfile.write(data)
-            return
+            return self._send_payload(data, NDJSON)
         self._send_json({"job_id": job_id, "status": job.status,
                          "error": job.error,
                          "reports": [r.to_dict() for r in reports]})
@@ -255,6 +423,10 @@ class SchedulingService:
     queued stay ``queued`` in the store for the next start).
     """
 
+    #: Ceiling for synchronous ``POST /v1/solve`` runs submitted without
+    #: their own timeout — a handler thread must never hang forever.
+    SYNC_DEFAULT_TIMEOUT = 60.0
+
     def __init__(self, db_path: str, *, host: str = "127.0.0.1",
                  port: int = 8080, drainers: int = 2,
                  engine_workers: int = 0,
@@ -264,6 +436,11 @@ class SchedulingService:
         self.queue = JobQueue(self.store, drainers=drainers,
                               engine_workers=engine_workers,
                               default_timeout=default_timeout)
+        # synchronous /v1/solve runs inline on the handler thread; no
+        # shared cache so want_schedule requests always carry their
+        # schedule instead of a cache-stripped report
+        self._sync_session = Session()
+        self.default_timeout = default_timeout
         self.quiet = quiet
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.service = self
@@ -276,10 +453,20 @@ class SchedulingService:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def solve_sync(self, request: SolveRequest) -> Any:
+        """Run one ``POST /v1/solve`` request inline, with the service's
+        default timeout as a backstop."""
+        if request.timeout is None:
+            request = replace(
+                request,
+                timeout=self.default_timeout or self.SYNC_DEFAULT_TIMEOUT)
+        return self._sync_session.solve(request)
+
     def health(self) -> dict:
         cache = self.queue.cache
         return {
             "status": "ok",
+            "api_version": API_VERSION,
             "uptime_s": round(time.time() - self._started_at, 3),
             "queue_depth": self.queue.depth(),
             "active_jobs": self.queue.active(),
@@ -315,7 +502,7 @@ def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,
                             engine_workers=engine_workers,
                             default_timeout=default_timeout, quiet=quiet)
     svc.start()
-    print(f"repro service listening on {svc.url}  "
+    print(f"repro service listening on {svc.url}/{API_VERSION}  "
           f"(db={db_path}, drainers={drainers}, "
           f"recovered {svc.recovered} job(s))", flush=True)
     try:

@@ -171,17 +171,32 @@ class JobStore:
         return _row_to_record(row) if row is not None else None
 
     def list_jobs(self, status: str | None = None,
-                  limit: int = 100) -> list[JobRecord]:
-        """Most recent jobs first, optionally filtered by status."""
+                  limit: int = 100, offset: int = 0) -> list[JobRecord]:
+        """Most recent jobs first, optionally filtered by status.
+
+        ``offset`` skips past rows for pagination; id breaks ties in
+        ``submitted_at`` so pages never overlap or skip."""
         q = "SELECT * FROM jobs"
         params: tuple = ()
         if status is not None:
             q += " WHERE status = ?"
             params = (status,)
-        q += " ORDER BY submitted_at DESC LIMIT ?"
+        q += " ORDER BY submitted_at DESC, id LIMIT ? OFFSET ?"
         with self._lock:
-            rows = self._conn.execute(q, params + (int(limit),)).fetchall()
+            rows = self._conn.execute(
+                q, params + (int(limit), int(offset))).fetchall()
         return [_row_to_record(r) for r in rows]
+
+    def count_jobs(self, status: str | None = None) -> int:
+        """Total jobs (for one status, or overall) — pagination totals."""
+        q = "SELECT COUNT(*) FROM jobs"
+        params: tuple = ()
+        if status is not None:
+            q += " WHERE status = ?"
+            params = (status,)
+        with self._lock:
+            (n,) = self._conn.execute(q, params).fetchone()
+        return n
 
     def claim_job(self, job_id: str) -> bool:
         """Atomically flip one ``queued`` job to ``running``.

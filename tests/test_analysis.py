@@ -1,6 +1,5 @@
 """Tests for the analysis/figure machinery."""
 
-from fractions import Fraction
 
 import pytest
 

@@ -112,7 +112,8 @@ class TestSolveViaRegistry:
         assert main(["generate", "--n", "16", "--classes", "6",
                      "--machines", "2", "--slots", "1", "--seed", "0",
                      "-o", path]) == 0
-        with pytest.raises(SystemExit, match="round-robin failed"):
+        with pytest.raises(SystemExit,
+                           match="round-robin finished infeasible"):
             main(["solve", path, "--algorithm", "round-robin"])
 
 

@@ -8,7 +8,6 @@ from repro import (Instance, solve_nonpreemptive, solve_preemptive,
 from repro.baselines import lpt_class_schedule
 from repro.exact import opt_nonpreemptive, opt_preemptive, opt_splittable
 from repro.ptas.nonpreemptive import ptas_nonpreemptive
-from repro.ptas.preemptive import ptas_preemptive
 from repro.ptas.splittable import ptas_splittable
 from repro.workloads import (data_placement_instance, uniform_instance,
                              video_on_demand_instance)

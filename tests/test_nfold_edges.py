@@ -1,7 +1,6 @@
 """Edge coverage for the N-fold substrate: degenerate block shapes."""
 
 import numpy as np
-import pytest
 
 from repro.nfold import (NFold, brick_solutions, parameters_of, solve_dp,
                          solve_milp)

@@ -39,6 +39,21 @@ class TestResolution:
         with pytest.raises(UnknownSolverError, match="no-such-solver"):
             get_solver("no-such-solver")
 
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(UnknownSolverError) as err:
+            get_solver("splitable")
+        message = err.value.args[0]
+        assert "did you mean" in message and "splittable" in message
+
+    def test_unknown_name_suggests_aliases_too(self):
+        with pytest.raises(UnknownSolverError, match="did you mean"):
+            get_solver("mlip")       # close to the 'milp' alias
+
+    def test_gibberish_gets_no_suggestion(self):
+        with pytest.raises(UnknownSolverError) as err:
+            get_solver("qqqqzzzz")
+        assert "did you mean" not in err.value.args[0]
+
     def test_duplicate_registration_rejected(self):
         spec = get_solver("lpt")
         with pytest.raises(ValueError, match="already registered"):
