@@ -13,6 +13,8 @@ Subcommands::
     generate emit a synthetic instance as JSON
     serve    run the persistent scheduling service (HTTP/JSON API)
     submit   send instances to a running service, optionally wait
+    bench    run a named perf suite, write BENCH_results.json, optionally
+             gate against a committed baseline
 
 Examples::
 
@@ -306,6 +308,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (compare_results, load_results, run_suite,
+                       write_results)
+    baseline = None
+    if args.baseline:
+        # validate before burning minutes of bench time
+        try:
+            baseline = load_results(args.baseline)
+        except FileNotFoundError:
+            raise SystemExit(f"error: baseline not found: {args.baseline}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: bad baseline {args.baseline}: {exc}")
+    try:
+        run = run_suite(args.suite, repeats=args.repeats,
+                        progress=lambda line: print(line, file=sys.stderr))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    path = write_results(run, args.output)
+    print(f"{len(run.results)} bench(es) written to {path}",
+          file=sys.stderr)
+    if baseline is None:
+        return 0
+    try:
+        comparisons = compare_results(run.to_dict(), baseline,
+                                      warn_ratio=args.warn_over,
+                                      fail_ratio=args.fail_over)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    for comp in comparisons:
+        print(comp.line())
+    failed = [c for c in comparisons if c.status == "fail"]
+    warned = [c for c in comparisons if c.status == "warn"]
+    print(f"compared {sum(c.ratio is not None for c in comparisons)} "
+          f"bench(es) against {args.baseline}: "
+          f"{len(failed)} fail, {len(warned)} warn", file=sys.stderr)
+    return 1 if failed else 0
+
+
 _GENERATORS = {
     "uniform": uniform_instance,
     "zipf": zipf_instance,
@@ -453,12 +493,40 @@ def build_parser() -> argparse.ArgumentParser:
     pu.add_argument("--wait-timeout", type=float, default=300.0,
                     help="give up waiting after this many seconds")
     pu.set_defaults(func=_cmd_submit)
+
+    pf = sub.add_parser(
+        "bench", help="run a perf suite and write BENCH_results.json")
+    pf.add_argument("--suite", default="smoke",
+                    choices=("smoke", "kernel", "batch", "full"),
+                    help="which bench suite to run (full = everything, "
+                         "what the committed baseline is built from)")
+    pf.add_argument("--repeats", type=int, default=5,
+                    help="timing repeats per bench (min/median recorded)")
+    pf.add_argument("-o", "--output", default="BENCH_results.json",
+                    help="where to write the results JSON")
+    pf.add_argument("--baseline", metavar="PATH",
+                    help="compare against this committed results file; "
+                         "exit 1 on any bench beyond --fail-over")
+    pf.add_argument("--warn-over", type=float, default=1.25,
+                    help="warn when current/baseline min time exceeds "
+                         "this ratio")
+    pf.add_argument("--fail-over", type=float, default=1.25,
+                    help="fail when the ratio exceeds this (CI uses 2.0 "
+                         "to absorb shared-runner noise)")
+    pf.set_defaults(func=_cmd_bench)
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        # explicit release of the engine's persistent worker pool (atexit
+        # would cover a normal interpreter exit, but `main` is also called
+        # programmatically and from tests)
+        from .engine.pool import shutdown_pool
+        shutdown_pool(wait=False)
 
 
 if __name__ == "__main__":

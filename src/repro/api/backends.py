@@ -17,12 +17,15 @@ never changes what a caller sees, only where the work runs.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, wait
 from typing import TYPE_CHECKING, Iterator
 
+from ..core.fastmath import fast_paths_enabled
 from ..engine import DEFAULT_WORKERS, execute, run_batch
 from ..engine.cache import cache_key, is_cacheable, relabel_hit
+from ..engine.pool import submit_task
 from ..engine.report import SolveReport
+from ..engine.runner import execute_in_worker
 from .requests import BatchRequest, SolveRequest
 
 if TYPE_CHECKING:    # pragma: no cover - typing only
@@ -114,15 +117,33 @@ class ProcessPoolBackend(InProcessBackend):
                 pending.append((key, label, inst, name, kwargs))
         if not pending:
             return
-        with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending))) as pool:
-            futures = {
-                pool.submit(execute, inst, name, kwargs, label=label,
-                            timeout=batch.timeout): key
-                for key, label, inst, name, kwargs in pending}
-            for fut in as_completed(futures):
+        # the engine's persistent pool: warm workers across stream calls.
+        # Submission is windowed to ``workers`` in-flight cells — the
+        # caller's fan-out stays a hard cap even when the shared pool is
+        # wider — and never asks for more workers than pending cells
+        # (fork pre-spawns the pool's whole width on first use).
+        width = min(self.workers, len(pending))
+        fast = fast_paths_enabled()
+        queue = iter(pending)
+        live: dict = {}
+
+        def submit_next() -> None:
+            item = next(queue, None)
+            if item is None:
+                return
+            key, label, inst, name, kwargs = item
+            fut = submit_task(width, execute_in_worker, inst, name, kwargs,
+                              label=label, timeout=batch.timeout,
+                              fast_paths=fast)
+            live[fut] = key
+        for _ in range(width):
+            submit_next()
+        while live:
+            done, _ = wait(live, return_when=FIRST_COMPLETED)
+            for fut in done:
+                key = live.pop(fut)
                 rep = fut.result()
-                key = futures[fut]
+                submit_next()
                 if self.cache is not None and is_cacheable(rep):
                     self.cache.put(key, rep)
                 yield rep

@@ -21,21 +21,47 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Sequence
 
+import numpy as np
+
+from ..core.fastmath import INT64_SAFE, fast_paths_enabled
+
 __all__ = ["split_count", "candidate_borders", "smallest_feasible_border",
            "advanced_binary_search"]
 
 
+def _split_count_scaled(class_loads: Sequence[int], num: int,
+                        den: int) -> int:
+    """``split_count`` for ``T = num/den`` on plain ints (no ``Fraction``
+    construction): ``sum ceil(P * den / num)``."""
+    total = 0
+    for P in class_loads:
+        total += -((-P * den) // num)
+    return total
+
+
+def _split_count_vec(loads: np.ndarray, num: int, den: int) -> int:
+    """Vectorised ``split_count``; caller guarantees int64 headroom.
+
+    ``numpy`` floor division rounds toward -inf exactly like Python's
+    ``//``, so the negated-floor ceiling trick transfers unchanged."""
+    return int(-np.sum((loads * -den) // num))
+
+
 def split_count(class_loads: Sequence[int], T: Fraction) -> int:
     """Total number of (sub-)classes when every class with ``P_u > T`` is cut
-    into ``ceil(P_u / T)`` pieces. Exact rational arithmetic."""
+    into ``ceil(P_u / T)`` pieces. Exact integer arithmetic."""
     if T <= 0:
         raise ValueError("T must be positive")
     num, den = T.numerator, T.denominator
-    total = 0
-    for P in class_loads:
-        # ceil(P / (num/den)) = ceil(P * den / num)
-        total += -((-P * den) // num)
-    return total
+    if fast_paths_enabled() and len(class_loads) >= 8:
+        max_load = max(class_loads, default=0)
+        # bound the whole accumulated sum, not just each term: the count
+        # of an infeasibly small guess can dwarf any one ceil term
+        if 0 < num < INT64_SAFE and \
+                len(class_loads) * (max_load * den + 1) < INT64_SAFE:
+            return _split_count_vec(
+                np.asarray(class_loads, dtype=np.int64), num, den)
+    return _split_count_scaled(class_loads, num, den)
 
 
 def candidate_borders(class_loads: Sequence[int], m: int,
@@ -75,6 +101,15 @@ def smallest_feasible_border(class_loads: Sequence[int], m: int,
     Returns ``None`` when no border is feasible, i.e. the class count
     alone exceeds the budget (``C > c*m``): no schedule exists at all.
     """
+    if fast_paths_enabled():
+        return _smallest_feasible_border_fast(class_loads, m, budget)
+    return _smallest_feasible_border_reference(class_loads, m, budget)
+
+
+def _smallest_feasible_border_reference(class_loads: Sequence[int], m: int,
+                                        budget: int) -> Fraction | None:
+    """Pure-``Fraction`` reference implementation (perf harness + golden
+    equivalence); the fast path must return the identical border."""
     best: Fraction | None = None
     for P in set(class_loads):
         if P <= 0:
@@ -87,7 +122,9 @@ def smallest_feasible_border(class_loads: Sequence[int], m: int,
         best_k = None
         while lo <= hi:
             mid = (lo + hi) // 2
-            if split_count(class_loads, Fraction(P, mid)) <= budget:
+            guess = Fraction(P, mid)
+            if _split_count_scaled(class_loads, guess.numerator,
+                                   guess.denominator) <= budget:
                 best_k = mid
                 lo = mid + 1
             else:
@@ -97,6 +134,46 @@ def smallest_feasible_border(class_loads: Sequence[int], m: int,
             if best is None or cand < best:
                 best = cand
     return best
+
+
+def _smallest_feasible_border_fast(class_loads: Sequence[int], m: int,
+                                   budget: int) -> Fraction | None:
+    """Scaled-integer border search: the per-step guess ``P/mid`` is kept
+    as a (num, den) pair — no ``Fraction`` is constructed inside the
+    ``O(C log m)`` loop — and counts are vectorised when they provably fit
+    int64. The winning border is rebuilt as a ``Fraction`` once."""
+    loads = [int(P) for P in class_loads]
+    nc = len(loads)
+    max_load = max(loads, default=0)
+    arr = np.asarray(loads, dtype=np.int64) \
+        if nc >= 8 and max_load < INT64_SAFE else None
+
+    def count(num: int, den: int) -> int:
+        if arr is not None and num < INT64_SAFE \
+                and nc * (max_load * den + 1) < INT64_SAFE:
+            return _split_count_vec(arr, num, den)
+        return _split_count_scaled(loads, num, den)
+
+    best_num: int | None = None
+    best_den = 1
+    for P in set(loads):
+        if P <= 0:
+            continue
+        lo, hi = 1, m
+        best_k = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if count(P, mid) <= budget:
+                best_k = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        if best_k is not None and (best_num is None
+                                   or P * best_den < best_num * best_k):
+            best_num, best_den = P, best_k
+    if best_num is None:
+        return None
+    return Fraction(best_num, best_den)
 
 
 def advanced_binary_search(class_loads: Sequence[int], m: int, budget: int,

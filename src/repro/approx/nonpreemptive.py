@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
-from ..core.bounds import (area_bound, nonpreemptive_class_count,
+from ..core.bounds import (area_bound, presorted_class_count,
                            trivial_upper_bound)
 from ..core.errors import InvalidInstanceError
 from ..core.instance import Instance
@@ -51,14 +51,18 @@ def solve_nonpreemptive(inst: Instance) -> NonPreemptiveResult:
             f"infeasible: C={inst.num_classes} classes exceed c*m={budget} "
             "class slots")
 
-    per_class = [[inst.processing_times[j] for j in inst.jobs_of_class(u)]
+    per_class = [[inst.processing_times[j] for j in inst.jobs_by_class[u]]
                  for u in range(inst.num_classes)]
+    # sorted views + sums precomputed once: the binary search re-evaluates
+    # the Theorem 6 counts O(log UB) times
+    per_class_asc = [sorted(pjs) for pjs in per_class]
+    per_class_sum = [sum(pjs) for pjs in per_class]
 
     def group_counts(T: int) -> list[int] | None:
         counts = []
         total = 0
-        for pjs in per_class:
-            cu = nonpreemptive_class_count(pjs, T)
+        for pjs, s in zip(per_class_asc, per_class_sum):
+            cu = presorted_class_count(pjs, s, T)
             counts.append(cu)
             total += cu
             if total > budget:

@@ -10,6 +10,14 @@ The concatenation order matters for the preemptive regime: the tail of a
 cut job is the *last* piece of its sub-class and the head is the *first*
 piece of the next one, which is exactly what makes the repacking of
 Algorithm 2 collision-free (see :mod:`repro.approx.preemptive`).
+
+This is the hottest kernel of the constant-factor solvers, so the default
+implementation runs on exact scaled integers: with ``T = num/den`` every
+quantity here is a multiple of ``1/den``, so the whole cutting loop works
+in units of ``1/den`` on plain ``int`` and ``Fraction`` objects are only
+built once per emitted piece at the boundary. The pure-``Fraction``
+reference implementation is kept for the golden-equivalence tests and the
+perf harness (:func:`repro.core.fastmath.use_fast_paths`).
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+from ..core.fastmath import fast_paths_enabled
 from ..core.instance import Instance
 
 __all__ = ["SubClass", "split_classes"]
@@ -48,6 +57,46 @@ def split_classes(inst: Instance, T: Fraction) -> list[SubClass]:
     T = Fraction(T)
     if T <= 0:
         raise ValueError("T must be positive")
+    if fast_paths_enabled():
+        return _split_classes_fast(inst, T)
+    return _split_classes_reference(inst, T)
+
+
+def _split_classes_fast(inst: Instance, T: Fraction) -> list[SubClass]:
+    """Scaled-integer cutting loop: everything is a multiple of
+    ``1/den`` (``T = num/den``), so the loop body is pure ``int``
+    arithmetic and ``Fraction`` values are reconstructed per piece at the
+    very end."""
+    num, den = T.numerator, T.denominator
+    times = inst.processing_times
+    subs: list[SubClass] = []
+    for u, jobs in enumerate(inst.jobs_by_class):
+        current: list[tuple[int, int]] = []      # (job, units of 1/den)
+        current_load = 0                          # units of 1/den
+        for j in jobs:
+            remaining = times[j] * den
+            while remaining > 0:
+                room = num - current_load
+                take = room if room < remaining else remaining
+                current.append((j, take))
+                current_load += take
+                remaining -= take
+                if current_load == num:
+                    subs.append(SubClass(
+                        u,
+                        tuple((j2, Fraction(a, den)) for j2, a in current),
+                        T, True))
+                    current = []
+                    current_load = 0
+        if current:
+            subs.append(SubClass(
+                u, tuple((j2, Fraction(a, den)) for j2, a in current),
+                Fraction(current_load, den), False))
+    return subs
+
+
+def _split_classes_reference(inst: Instance, T: Fraction) -> list[SubClass]:
+    """The original pure-``Fraction`` cutting loop (reference path)."""
     subs: list[SubClass] = []
     for u in range(inst.num_classes):
         jobs = inst.jobs_of_class(u)

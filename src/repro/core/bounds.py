@@ -24,6 +24,7 @@ Bounds implemented:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from fractions import Fraction
 from math import ceil
 
@@ -34,6 +35,7 @@ __all__ = [
     "pmax_bound",
     "class_slot_bound",
     "nonpreemptive_class_count",
+    "presorted_class_count",
     "nonpreemptive_slot_bound",
     "splittable_lower_bound",
     "preemptive_lower_bound",
@@ -82,17 +84,27 @@ def nonpreemptive_class_count(pjs: list[int], T: int) -> int:
     left over after greedily pairing the largest fitting one on top of each
     ``> T/2`` job.
     """
+    return presorted_class_count(sorted(pjs), sum(pjs), T)
+
+
+def presorted_class_count(pjs_asc: list[int], total: int, T: int) -> int:
+    """:func:`nonpreemptive_class_count` for callers that loop over guesses
+    (the Theorem 6 binary searches): takes the job sizes pre-sorted
+    ascending plus their precomputed sum, so the per-guess work drops to
+    two bisections and the pairing scan instead of a sort and a sum."""
     if T <= 0:
         raise ValueError("T must be positive")
-    P = sum(pjs)
-    c1 = -((-P) // T)
-    # 2*p > T  <=>  p > T/2 exactly for integers
-    big = sorted((p for p in pjs if 2 * p > T), reverse=True)
-    mid = sorted((p for p in pjs if 2 * p <= T and 3 * p > T), reverse=True)
+    c1 = -((-total) // T)
+    # 2*p > T  <=>  p > T/2 exactly for integers; with pjs ascending the
+    # big jobs are the suffix from i and the (T/3, T/2] jobs are pjs[j:i]
+    i = bisect_right(pjs_asc, T, key=lambda p: 2 * p)
+    j = bisect_right(pjs_asc, T, key=lambda p: 3 * p)
+    big = pjs_asc[i:][::-1]
+    mid = pjs_asc[j:i][::-1]
     k_u = len(big)
     # Greedy pairing: for each big job (any order — largest-first matches the
     # paper), put the largest mid job that still fits (big + mid <= T).
-    remaining = mid[:]
+    remaining = mid
     for b in big:
         # find largest mid job fitting next to b
         for idx, q in enumerate(remaining):
@@ -109,14 +121,15 @@ def nonpreemptive_slot_bound(inst: Instance) -> int:
     inst = inst.normalized()
     budget = inst.class_slots * inst.machines
     per_class = [
-        [inst.processing_times[j] for j in inst.jobs_of_class(u)]
+        sorted(inst.processing_times[j] for j in inst.jobs_by_class[u])
         for u in range(inst.num_classes)
     ]
+    per_class_sum = [sum(pjs) for pjs in per_class]
 
     def feasible(T: int) -> bool:
         total = 0
-        for pjs in per_class:
-            total += nonpreemptive_class_count(pjs, T)
+        for pjs, s in zip(per_class, per_class_sum):
+            total += presorted_class_count(pjs, s, T)
             if total > budget:
                 return False
         return True

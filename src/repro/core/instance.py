@@ -16,6 +16,7 @@ legal inputs — but :meth:`Instance.normalized` applies the paper's reductions
 from __future__ import annotations
 
 import hashlib
+import struct
 from dataclasses import dataclass, field
 from fractions import Fraction
 from functools import cached_property
@@ -26,6 +27,24 @@ import numpy as np
 from .errors import InvalidInstanceError
 
 __all__ = ["Instance", "class_loads", "encoding_length"]
+
+
+def _hash_ints(h, values: Sequence[int]) -> None:
+    """Feed a sequence of ints into a hash: one ``struct`` pack when every
+    value fits int64 (the overwhelmingly common case), a length-prefixed
+    big-int encoding otherwise (``m`` may be exponential in ``n``)."""
+    try:
+        packed = struct.pack(f"<{len(values)}q", *values)
+    except (struct.error, OverflowError):
+        h.update(b"B")
+        for v in values:
+            v = int(v)
+            b = v.to_bytes((v.bit_length() + 8) // 8, "little", signed=True)
+            h.update(len(b).to_bytes(4, "little"))
+            h.update(b)
+    else:
+        h.update(b"q")
+        h.update(packed)
 
 
 @dataclass(frozen=True)
@@ -159,9 +178,22 @@ class Instance:
             loads[u] += p
         return tuple(loads)
 
+    @cached_property
+    def jobs_by_class(self) -> tuple[tuple[int, ...], ...]:
+        """``jobs_by_class[u]``: indices of the jobs of class ``u``.
+
+        Built in one pass over the jobs; ``jobs_of_class`` reads from it,
+        so solvers that iterate classes stop rescanning all ``n`` jobs
+        per class.
+        """
+        groups: list[list[int]] = [[] for _ in range(self.num_classes)]
+        for j, u in enumerate(self.classes):
+            groups[u].append(j)
+        return tuple(tuple(g) for g in groups)
+
     def jobs_of_class(self, u: int) -> list[int]:
         """Indices of the jobs belonging to class ``u``."""
-        return [j for j, cu in enumerate(self.classes) if cu == u]
+        return list(self.jobs_by_class[u])
 
     def class_load(self, u: int) -> int:
         """``P_u``: accumulated processing time of class ``u``."""
@@ -199,15 +231,7 @@ class Instance:
 
     @cached_property
     def _digest(self) -> str:
-        h = hashlib.sha256()
-        h.update(b"ccs-instance-v1")
-        for part in (self.processing_times, self.classes,
-                     (self.machines, self.class_slots)):
-            h.update(b"|")
-            for v in part:
-                h.update(str(int(v)).encode())
-                h.update(b",")
-        return h.hexdigest()
+        return compute_digest(self)
 
     def digest(self) -> str:
         """Stable content hash of the mathematical instance.
@@ -231,6 +255,25 @@ class Instance:
         return (f"Instance(n={self.num_jobs}, C={self.num_classes}, "
                 f"m={self.machines}, c={self.class_slots}, "
                 f"total_load={self.total_load})")
+
+
+def compute_digest(inst: Instance) -> str:
+    """The uncached digest computation behind :meth:`Instance.digest`.
+
+    Compact struct-packed encoding: one pack call per part instead of two
+    str/encode round-trips per integer. Values outside int64 get a
+    length-prefixed big-int encoding; the leading marker byte keeps the
+    two encodings disjoint. The version label is ``v2`` (the v1 digest
+    hashed decimal strings), so persistent caches never mix v1 and v2
+    keys. Exposed at module level for the perf harness.
+    """
+    h = hashlib.sha256()
+    h.update(b"ccs-instance-v2")
+    for part in (inst.processing_times, inst.classes,
+                 (inst.machines, inst.class_slots)):
+        h.update(b"|")
+        _hash_ints(h, part)
+    return h.hexdigest()
 
 
 def class_loads(processing_times: Iterable[int],

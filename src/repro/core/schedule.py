@@ -18,7 +18,11 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from .errors import InvalidInstanceError
+from .fastmath import (INT64_SAFE, fast_paths_enabled, max_fraction,
+                       sum_fractions)
 from .instance import Instance
 
 __all__ = [
@@ -119,6 +123,9 @@ class SplittableSchedule(_SparseMachineSchedule):
                 yield i, piece
 
     def load(self, machine: int) -> Fraction:
+        if fast_paths_enabled():
+            return sum_fractions(
+                p.amount for p in self._machines.get(machine, []))
         return sum((p.amount for p in self._machines.get(machine, [])),
                    Fraction(0))
 
@@ -129,10 +136,16 @@ class SplittableSchedule(_SparseMachineSchedule):
     def makespan(self) -> Fraction:
         if not self._machines:
             return Fraction(0)
+        if fast_paths_enabled():
+            return max_fraction(self.loads().values())
         return max(self.loads().values())
 
     def job_amounts(self) -> dict[int, Fraction]:
         """Total scheduled amount per job (for completeness checks)."""
+        if fast_paths_enabled():
+            return _sum_amounts_by_job(
+                (p.job, p.amount)
+                for pieces in self._machines.values() for p in pieces)
         out: dict[int, Fraction] = {}
         for pieces in self._machines.values():
             for p in pieces:
@@ -144,6 +157,25 @@ class SplittableSchedule(_SparseMachineSchedule):
 
     def num_pieces(self) -> int:
         return sum(len(v) for v in self._machines.values())
+
+
+def _sum_amounts_by_job(pairs: Iterable[tuple[int, Fraction]]
+                        ) -> dict[int, Fraction]:
+    """Exact per-job amount totals without per-addition gcd churn: one
+    running ``(numerator, denominator)`` int pair per job, normalised to
+    a ``Fraction`` once at the end (see
+    :func:`repro.core.fastmath.sum_fractions` for the idea)."""
+    acc: dict[int, tuple[int, int]] = {}
+    for job, amount in pairs:
+        n, d = amount.numerator, amount.denominator
+        cur = acc.get(job)
+        if cur is None:
+            acc[job] = (n, d)
+        elif cur[1] == d:
+            acc[job] = (cur[0] + n, d)
+        else:
+            acc[job] = (cur[0] * d + n * cur[1], cur[1] * d)
+    return {job: Fraction(n, d) for job, (n, d) in acc.items()}
 
 
 class PreemptiveSchedule(_SparseMachineSchedule):
@@ -177,10 +209,17 @@ class PreemptiveSchedule(_SparseMachineSchedule):
                 yield i, piece
 
     def load(self, machine: int) -> Fraction:
+        if fast_paths_enabled():
+            return sum_fractions(
+                p.amount for p in self._machines.get(machine, []))
         return sum((p.amount for p in self._machines.get(machine, [])),
                    Fraction(0))
 
     def makespan(self) -> Fraction:
+        if fast_paths_enabled():
+            return max_fraction(
+                (p.end for pieces in self._machines.values()
+                 for p in pieces), default=Fraction(0))
         end = Fraction(0)
         for pieces in self._machines.values():
             for p in pieces:
@@ -189,6 +228,10 @@ class PreemptiveSchedule(_SparseMachineSchedule):
         return end
 
     def job_amounts(self) -> dict[int, Fraction]:
+        if fast_paths_enabled():
+            return _sum_amounts_by_job(
+                (p.job, p.amount)
+                for pieces in self._machines.values() for p in pieces)
         out: dict[int, Fraction] = {}
         for pieces in self._machines.values():
             for p in pieces:
@@ -201,6 +244,18 @@ class PreemptiveSchedule(_SparseMachineSchedule):
                for pieces in self._machines.values()
                for p in pieces if p.job == job]
         out.sort()
+        return out
+
+    def all_job_intervals(self) -> dict[int, list[tuple[Fraction, Fraction]]]:
+        """``job -> sorted (start, end) intervals`` for every scheduled job,
+        collected in one pass over the pieces. Equivalent to calling
+        :meth:`job_intervals` per job, without the quadratic rescan."""
+        out: dict[int, list[tuple[Fraction, Fraction]]] = {}
+        for pieces in self._machines.values():
+            for p in pieces:
+                out.setdefault(p.job, []).append((p.start, p.end))
+        for intervals in out.values():
+            intervals.sort()
         return out
 
     def classes_on(self, machine: int, inst: Instance) -> set[int]:
@@ -265,6 +320,9 @@ class NonPreemptiveSchedule:
         return sum(inst.processing_times[j] for j in self.jobs_on(machine))
 
     def loads(self, inst: Instance) -> dict[int, int]:
+        if fast_paths_enabled() and self._vectorizable(inst):
+            per_machine, used = self._load_vector(inst)
+            return {int(i): int(per_machine[i]) for i in used}
         out: dict[int, int] = {}
         for j, i in enumerate(self._assignment):
             if i >= 0:
@@ -272,8 +330,35 @@ class NonPreemptiveSchedule:
         return out
 
     def makespan(self, inst: Instance) -> int:
+        if fast_paths_enabled() and self._vectorizable(inst):
+            per_machine, used = self._load_vector(inst)
+            return int(per_machine.max()) if used.size else 0
         loads = self.loads(inst)
         return max(loads.values()) if loads else 0
+
+    def dense_machine_range(self) -> bool:
+        """Whether the machine index range is small enough to bin densely
+        with numpy (shared gate for the vectorised load accounting here
+        and the vectorised validation in :mod:`repro.core.validation` —
+        ``m`` may be astronomically large, and a dense per-machine array
+        must never be allocated for such instances)."""
+        return self.num_machines <= 4 * self.num_jobs + 64
+
+    def _vectorizable(self, inst: Instance) -> bool:
+        # total_load bounds every machine load, so int64 accumulation in
+        # the scatter-add cannot overflow when it fits
+        return inst.total_load < INT64_SAFE and self.dense_machine_range()
+
+    def _load_vector(self, inst: Instance) -> tuple[np.ndarray, np.ndarray]:
+        """Per-machine load totals accumulated in exact int64 (one
+        scatter-add over the assignment, unassigned jobs excluded);
+        returns ``(loads, used machine indices)``."""
+        assign = np.asarray(self._assignment, dtype=np.int64)
+        times = np.asarray(inst.processing_times, dtype=np.int64)
+        mask = assign >= 0
+        per_machine = np.zeros(self.num_machines, dtype=np.int64)
+        np.add.at(per_machine, assign[mask], times[mask])
+        return per_machine, np.unique(assign[mask])
 
     def classes_on(self, machine: int, inst: Instance) -> set[int]:
         return {inst.classes[j] for j in self.jobs_on(machine)}

@@ -6,14 +6,22 @@ the preemptive regime non-overlap of same-job pieces and same-machine
 pieces). Tests always validate through this module rather than trusting the
 producing algorithm — a deliberate separation of construction and checking.
 
-All checks are exact (``Fraction`` arithmetic).
+All checks are exact. The non-preemptive validator has a vectorised fast
+path (``numpy`` scatter/unique over the assignment) used when the
+magnitudes provably fit int64; the fractional validators route their load
+accounting through :mod:`repro.core.fastmath`'s grouped exact sums. On any
+violation the fast paths re-run the scalar reference checks so error
+messages are identical byte for byte.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
+import numpy as np
+
 from .errors import InfeasibleScheduleError
+from .fastmath import fast_paths_enabled
 from .instance import Instance
 from .schedule import (NonPreemptiveSchedule, PreemptiveSchedule,
                        SplittableSchedule)
@@ -93,9 +101,11 @@ def validate_preemptive(inst: Instance, sched: PreemptiveSchedule) -> Fraction:
                     machine=i)
         _check_class_slots(sched.classes_on(i, inst), inst.class_slots, i)
 
-    # same-job pieces must not overlap across machines
+    # same-job pieces must not overlap across machines (intervals gathered
+    # in one pass — per-job rescans made this check quadratic in n)
+    by_job = sched.all_job_intervals()
     for j in range(inst.num_jobs):
-        intervals = sched.job_intervals(j)
+        intervals = by_job.get(j, [])
         for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
             if s2 < e1:
                 raise InfeasibleScheduleError(
@@ -116,12 +126,37 @@ def validate_nonpreemptive(inst: Instance,
         raise InfeasibleScheduleError(
             f"schedule covers {sched.num_jobs} jobs, instance has "
             f"{inst.num_jobs}")
+    if fast_paths_enabled() and _nonpreemptive_ok_vec(inst, sched):
+        return sched.makespan(inst)
     for j, i in enumerate(sched.assignment):
         if i < 0:
             raise InfeasibleScheduleError("job is unassigned", job=j)
     for i, classes in sched.classes_per_machine(inst).items():
         _check_class_slots(classes, inst.class_slots, i)
     return sched.makespan(inst)
+
+
+def _nonpreemptive_ok_vec(inst: Instance,
+                          sched: NonPreemptiveSchedule) -> bool:
+    """Vectorised assignment + class-slot check.
+
+    Returns ``True`` when the schedule provably passes; ``False`` sends
+    the caller down the scalar path — either because a violation must be
+    re-derived there for its exact error message, or because the machine
+    index range is too large to bin densely.
+    """
+    if not sched.dense_machine_range():
+        return False
+    assign = np.asarray(sched.assignment, dtype=np.int64)
+    if assign.min(initial=0) < 0:
+        return False                      # unassigned job: scalar re-check
+    classes = np.asarray(inst.classes, dtype=np.int64)
+    # distinct (machine, class) pairs, then distinct classes per machine
+    pair = assign * inst.num_classes + classes
+    machines_of_pairs = np.unique(pair) // inst.num_classes
+    distinct = np.bincount(machines_of_pairs.astype(np.int64),
+                           minlength=sched.num_machines)
+    return bool((distinct <= inst.class_slots).all())
 
 
 def validate(inst: Instance, sched) -> Fraction | int:

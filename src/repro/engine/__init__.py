@@ -4,11 +4,15 @@
 * :func:`~repro.engine.runner.run_batch` — instances x algorithms with
   process fan-out, per-run timeouts and caching.
 * :class:`~repro.engine.cache.ReportCache` — content-hash-keyed results.
+* :mod:`~repro.engine.pool` — the persistent process pool behind every
+  parallel batch (:func:`~repro.engine.pool.shutdown_pool` to release).
 """
 
 from .cache import ReportCache, cache_key
+from .pool import get_pool, pool_id, shutdown_pool
 from .report import SolveReport
 from .runner import DEFAULT_WORKERS, execute, run_batch
 
 __all__ = ["SolveReport", "ReportCache", "cache_key", "execute",
-           "run_batch", "DEFAULT_WORKERS"]
+           "run_batch", "DEFAULT_WORKERS", "get_pool", "pool_id",
+           "shutdown_pool"]

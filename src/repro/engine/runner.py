@@ -6,8 +6,11 @@ harness and the analysis layer all call it instead of hand-rolling
 instance/algorithm loops. It
 
 * resolves algorithms through :mod:`repro.registry`,
-* fans tasks out over a ``concurrent.futures`` process pool (``workers=0``
-  runs inline, which the benchmarks use to keep timings honest),
+* fans tasks out over the engine's *persistent* process pool
+  (:mod:`repro.engine.pool` — warm workers survive across batches;
+  ``workers=0`` runs inline, which the benchmarks use to keep timings
+  honest), shipping each distinct instance to a worker once per batch
+  chunk instead of once per cell,
 * enforces a per-run wall-clock timeout — ``SIGALRM`` where available
   (POSIX main threads, i.e. the pool workers), a watchdog-thread fallback
   everywhere else (Windows, service queue drainers),
@@ -26,23 +29,26 @@ single cell failed (unknown solver names, a caller bug, still do).
 from __future__ import annotations
 
 import ctypes
+import heapq
 import os
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, wait
 from contextlib import contextmanager
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..core.errors import InfeasibleScheduleError, InvalidInstanceError
+from ..core.fastmath import fast_paths_enabled
 from ..core.instance import Instance
 from ..core.validation import validate
 from ..registry import get_solver
 from .cache import ReportCache, cache_key, is_cacheable, relabel_hit
+from .pool import submit_task
 from .report import SolveReport
 
-__all__ = ["run_batch", "execute", "DEFAULT_WORKERS"]
+__all__ = ["run_batch", "execute", "execute_in_worker", "DEFAULT_WORKERS"]
 
 #: Default process fan-out; small enough not to oversubscribe CI boxes.
 DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
@@ -191,6 +197,65 @@ def _execute_task(task: tuple) -> SolveReport:
     return execute(inst, name, kwargs, label=label, timeout=timeout)
 
 
+def _execute_chunk(groups: list[tuple[Instance, list[tuple]]],
+                   fast_paths: bool = True) -> list[tuple[int, SolveReport]]:
+    """Run one chunk — several cells grouped by instance — in a worker.
+
+    Cells are grouped by instance before submission, so each distinct
+    instance crosses the process boundary once per chunk — not once per
+    cell — and the worker's memoized ``Instance`` quantities (class
+    groupings, digest) are shared by every cell of its group.
+    ``fast_paths`` carries the caller's :mod:`repro.core.fastmath`
+    switch across the process boundary — workers are forked once and
+    reused warm, so the flag must ride with the task, not the fork.
+    """
+    from ..core.fastmath import use_fast_paths
+    out: list[tuple[int, SolveReport]] = []
+    with use_fast_paths(fast_paths):
+        for inst, cells in groups:
+            out.extend(
+                (i, execute(inst, name, kwargs, label=label,
+                            timeout=timeout))
+                for i, label, name, kwargs, timeout in cells)
+    return out
+
+
+def execute_in_worker(inst: Instance, name: str, kwargs: Mapping[str, Any],
+                      *, label: str = "", timeout: float | None = None,
+                      fast_paths: bool = True) -> SolveReport:
+    """:func:`execute` for pool submission: applies the shipped
+    :mod:`repro.core.fastmath` switch in the worker first (see
+    :func:`_execute_chunk`)."""
+    from ..core.fastmath import use_fast_paths
+    with use_fast_paths(fast_paths):
+        return execute(inst, name, kwargs, label=label, timeout=timeout)
+
+
+def _balanced_chunks(groups: list[list[int]], target: int) -> list[list[int]]:
+    """Split per-instance cell groups until at least ``target`` chunks
+    exist (or every chunk is a single cell), largest chunk first — keeps
+    a one-instance x many-algorithms batch parallel while still shipping
+    each instance at most a handful of times.
+
+    Chunks stay fine-grained on purpose: the caller bounds concurrency
+    by *windowing submissions*, not by merging work up front, so a batch
+    mixing cheap and expensive cells keeps its workers busy instead of
+    idling behind one statically over-packed chunk."""
+    heap = [(-len(g), seq, g) for seq, g in enumerate(groups)]
+    heapq.heapify(heap)
+    seq = len(groups)
+    while len(heap) < target:
+        neg, _, g = heap[0]
+        if len(g) <= 1:
+            break
+        heapq.heappop(heap)
+        mid = len(g) // 2
+        for part in (g[:mid], g[mid:]):
+            heapq.heappush(heap, (-len(part), seq, part))
+            seq += 1
+    return [g for _, _, g in heap]
+
+
 def _normalize_instances(instances) -> list[tuple[str, Instance]]:
     out = []
     for k, item in enumerate(instances):
@@ -226,8 +291,11 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
     """Run every algorithm on every instance; one report per pair.
 
     Reports come back in deterministic order: instances outermost (in
-    input order), algorithms innermost. ``workers`` > 1 fans out over a
-    process pool; ``0``/``1`` runs inline in this process. ``timeout``
+    input order), algorithms innermost. ``workers`` > 1 fans out over the
+    engine's persistent process pool (:mod:`repro.engine.pool` — warm
+    across calls, shut down via
+    :func:`~repro.engine.pool.shutdown_pool`); ``0``/``1`` runs inline
+    in this process. ``timeout``
     bounds each individual run, not the batch. Cached results are
     returned with ``cached=True`` and cost no solver time; only clean
     (``ok``/``infeasible``) outcomes are cached — timeouts and crashes
@@ -266,12 +334,45 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
     pending = [i for i, r in enumerate(reports)
                if r is None and i not in dup_of]
     if workers > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers,
-                                                 len(pending))) as pool:
-            for i, rep in zip(pending,
-                              pool.map(_execute_task,
-                                       [tasks[i] for i in pending])):
-                reports[i] = rep
+        # group by instance content so each instance pickles once per
+        # chunk. Submissions are *windowed* to ``workers`` in-flight
+        # chunks: the caller's fan-out stays a hard concurrency cap even
+        # when the shared pool is wider, while the pool's dynamic
+        # scheduling keeps heterogeneous batches balanced. The worker
+        # ask is capped by the post-dedupe chunk count, so a batch full
+        # of repeats cannot over-provision pool processes (under fork
+        # the pool pre-spawns its full width on first use).
+        groups: dict[str, list[int]] = {}
+        for i in pending:
+            groups.setdefault(tasks[i][1].digest(), []).append(i)
+        chunks = _balanced_chunks(list(groups.values()),
+                                  min(workers, len(pending)))
+        width = min(workers, len(chunks))
+        fast = fast_paths_enabled()
+        queue = iter(chunks)
+        live: set = set()
+
+        def submit_next() -> None:
+            chunk = next(queue, None)
+            if chunk is None:
+                return
+            by_digest: dict[str, tuple[Instance, list[tuple]]] = {}
+            for i in chunk:
+                inst = tasks[i][1]
+                group = by_digest.setdefault(inst.digest(), (inst, []))
+                group[1].append((i, tasks[i][0], tasks[i][2], tasks[i][3],
+                                 tasks[i][4]))
+            live.add(submit_task(width, _execute_chunk,
+                                 list(by_digest.values()), fast))
+
+        for _ in range(width):
+            submit_next()
+        while live:
+            done, live = wait(live, return_when=FIRST_COMPLETED)
+            for fut in done:
+                for i, rep in fut.result():
+                    reports[i] = rep
+                submit_next()
     else:
         for i in pending:
             reports[i] = _execute_task(tasks[i])

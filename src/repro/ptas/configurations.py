@@ -13,6 +13,7 @@ All sizes are integers in the scaled units of the respective rounding
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..core.errors import CapacityExceededError
@@ -39,7 +40,37 @@ def enumerate_bounded_multisets(values: Sequence[int], max_items: int,
                                 include_empty: bool = True
                                 ) -> list[Multiset]:
     """All multisets over ``values`` with at most ``max_items`` elements and
-    total at most ``max_total`` (optionally a per-value count limit)."""
+    total at most ``max_total`` (optionally a per-value count limit).
+
+    Memoised on the (hashable) arguments: the PTAS binary searches call
+    this once per guess ``T``, and distinct guesses frequently round to
+    the same module structure — the enumeration (exponential in
+    ``1/delta``) is then paid once per structure instead of once per
+    guess. Returns a fresh list each call; the cached tuple is shared.
+    """
+    key_counts = None if max_count_per_value is None \
+        else tuple(max_count_per_value)
+    return list(_enumerate_cached(tuple(values), max_items, max_total,
+                                  key_counts, cap, include_empty))
+
+
+@lru_cache(maxsize=256)
+def _enumerate_cached(values: tuple[int, ...], max_items: int,
+                      max_total: int,
+                      max_count_per_value: tuple[int, ...] | None,
+                      cap: int, include_empty: bool) -> tuple[Multiset, ...]:
+    # failures (CapacityExceededError) propagate uncached, so a later call
+    # with a higher cap is not poisoned
+    return tuple(_enumerate_bounded_multisets(
+        values, max_items, max_total, max_count_per_value, cap,
+        include_empty))
+
+
+def _enumerate_bounded_multisets(values: Sequence[int], max_items: int,
+                                 max_total: int,
+                                 max_count_per_value: Sequence[int] | None,
+                                 cap: int,
+                                 include_empty: bool) -> list[Multiset]:
     vals = sorted(set(values), reverse=True)
     if max_count_per_value is not None:
         limit = {v: c for v, c in zip(values, max_count_per_value)}
@@ -106,7 +137,20 @@ def build_configuration_space(module_sizes: Sequence[int], max_slots: int,
                               max_size: int,
                               cap: int = 300_000) -> ConfigurationSpace:
     """Enumerate all configurations over ``module_sizes`` with at most
-    ``max_slots`` modules and total size at most ``max_size``."""
+    ``max_slots`` modules and total size at most ``max_size``.
+
+    Memoised keyed by ``(module sizes, slot bound, size threshold, cap)``
+    — the dual-approximation binary searches rebuild the same space for
+    every guess whose rounding coincides. The returned space is shared
+    and must be treated as read-only (all consumers do).
+    """
+    return _build_space_cached(tuple(module_sizes), max_slots, max_size,
+                               cap)
+
+
+@lru_cache(maxsize=64)
+def _build_space_cached(module_sizes: tuple[int, ...], max_slots: int,
+                        max_size: int, cap: int) -> ConfigurationSpace:
     raw = enumerate_bounded_multisets(module_sizes, max_slots, max_size,
                                       cap=cap, include_empty=True)
     sizes = tuple(multiset_total(ms) for ms in raw)

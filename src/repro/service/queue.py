@@ -74,6 +74,14 @@ class JobQueue:
     def start(self) -> int:
         """Recover persisted work, spawn the drainers. Returns the number
         of jobs re-enqueued from a previous process."""
+        if self.engine_workers > 1 and self.drainers > 0:
+            # pre-warm the shared engine pool to the *aggregate* demand:
+            # each drainer's batch caps its own fan-out at engine_workers,
+            # so concurrent jobs need drainers x engine_workers width to
+            # run at full parallelism (matching the capacity the service
+            # had when every run_batch built a private pool)
+            from ..engine.pool import get_pool
+            get_pool(self.drainers * self.engine_workers)
         recovered = self.store.recover_incomplete()
         with self._cv:
             self._stopping = False

@@ -63,6 +63,7 @@ from typing import Any
 
 from ..api import Session, SolveRequest
 from ..core.errors import InvalidInstanceError
+from ..engine.pool import shutdown_pool
 from ..io import instance_from_dict
 from ..registry import (NoMatchingSolverError, UnknownSolverError,
                         get_solver, list_solvers, suggest_solvers)
@@ -491,6 +492,9 @@ class SchedulingService:
             self._thread.join()
         self.queue.stop(wait=True)
         self.store.close()
+        # release the engine's shared process pool the drainers fanned out
+        # over; it is rebuilt lazily if this process runs more batches
+        shutdown_pool(wait=False)
 
 
 def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,

@@ -1,0 +1,184 @@
+"""The persistent shared process pool: reuse, sizing, clean shutdown."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.engine import run_batch
+from repro.engine.pool import (get_pool, pool_id, pool_max_workers,
+                               shutdown_pool)
+from repro.engine.runner import _balanced_chunks
+from repro.workloads import uniform_instance
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Each test starts and ends without a live shared pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _instances(count, n=24):
+    return [(f"i{k}", uniform_instance(np.random.default_rng(k), n=n, C=4,
+                                       m=3, c=2, p_hi=50))
+            for k in range(count)]
+
+
+def test_pool_reused_across_run_batch_calls():
+    insts = _instances(3)
+    assert pool_id() is None
+    r1 = run_batch(insts, ["splittable", "nonpreemptive"], workers=2)
+    first = pool_id()
+    assert first is not None
+    r2 = run_batch(insts, ["preemptive", "lpt"], workers=2)
+    assert pool_id() == first, "second batch must reuse the warm pool"
+    assert len(r1) == len(r2) == 6
+    assert all(r.status in ("ok", "infeasible") for r in r1 + r2)
+
+
+def test_shutdown_then_lazy_rebuild():
+    insts = _instances(2)
+    run_batch(insts, ["splittable", "lpt"], workers=2)
+    assert pool_id() is not None
+    shutdown_pool()
+    assert pool_id() is None and pool_max_workers() == 0
+    # shutdown is idempotent
+    shutdown_pool()
+    reports = run_batch(insts, ["splittable", "lpt"], workers=2)
+    assert pool_id() is not None
+    assert all(r.status in ("ok", "infeasible") for r in reports)
+
+
+def test_pool_grows_but_never_shrinks():
+    a = get_pool(2)
+    assert pool_max_workers() == 2
+    assert get_pool(1) is a, "smaller ask reuses the bigger pool"
+    b = get_pool(4)
+    assert b is not a and pool_max_workers() == 4
+    assert get_pool(3) is b
+
+
+def test_fully_deduped_batch_never_touches_the_pool():
+    (label, inst), = _instances(1)
+    reports = run_batch([(label, inst)] * 6, ["splittable"], workers=4)
+    assert len(reports) == 6
+    assert sum(not r.cached for r in reports) == 1
+    assert pool_id() is None, \
+        "one effective cell after dedupe must run inline"
+
+
+def test_process_spawn_capped_by_post_dedupe_cells():
+    insts = _instances(2)
+    # 8 cells collapse to 2 effective cells -> the pool is sized (and its
+    # processes forked) for 2 workers, not the 4 requested
+    run_batch(insts * 2, ["splittable", ("splittable", {})], workers=4)
+    assert pool_max_workers() == 2
+    assert len(get_pool(1)._processes) <= 2
+    # a later wider batch grows the pool once and stays correct
+    reports = run_batch(_instances(4), ["splittable", "nonpreemptive"],
+                        workers=4)
+    assert pool_max_workers() == 4
+    assert all(r.status in ("ok", "infeasible") for r in reports)
+
+
+def test_inline_workers_zero_unaffected():
+    insts = _instances(2)
+    reports = run_batch(insts, ["splittable"], workers=0)
+    assert all(r.ok for r in reports)
+    assert pool_id() is None
+
+
+def test_session_pool_backend_reuses_pool():
+    insts = _instances(3)
+    s = Session(workers=2)
+    list(s.stream(insts, algorithms=["splittable"]))
+    first = pool_id()
+    assert first is not None
+    list(s.stream(insts, algorithms=["nonpreemptive"]))
+    assert pool_id() == first
+
+
+def test_fastmath_flag_ships_to_pool_workers():
+    # workers are forked once and reused warm, so the reference-path
+    # switch must ride with each task, not the fork
+    from repro.core.fastmath import use_fast_paths
+    insts = _instances(3)
+    with use_fast_paths(False):
+        ref = run_batch(insts, ["splittable", "preemptive"], workers=2)
+    fast = run_batch(insts, ["splittable", "preemptive"], workers=2)
+    assert [str(r.makespan) for r in ref] == \
+        [str(r.makespan) for r in fast]
+    assert all(r.ok for r in ref + fast)
+
+
+def test_get_pool_growth_does_not_cancel_inflight_futures():
+    import threading
+    insts = _instances(6)
+    errors = []
+
+    def batch(workers):
+        try:
+            run_batch(insts, ["splittable", "nonpreemptive"],
+                      workers=workers)
+        except BaseException as exc:    # noqa: BLE001 — recorded for assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=batch, args=(w,))
+               for w in (2, 4, 3, 4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"concurrent batches failed: {errors!r}"
+
+
+def test_get_pool_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        get_pool(0)
+
+
+def test_balanced_chunks_splits_to_target():
+    # one big group splits until the target is reached
+    chunks = _balanced_chunks([list(range(8))], 4)
+    assert len(chunks) == 4
+    assert sorted(i for c in chunks for i in c) == list(range(8))
+    # single-cell groups cannot split further
+    chunks = _balanced_chunks([[0], [1], [2]], 8)
+    assert sorted(map(tuple, chunks)) == [(0,), (1,), (2,)]
+    # enough groups already: untouched
+    chunks = _balanced_chunks([[0, 1], [2, 3]], 2)
+    assert len(chunks) == 2
+
+
+def test_balanced_chunks_stay_fine_grained_above_target():
+    # more groups than workers: never merged up front — run_batch bounds
+    # concurrency by windowing submissions, so heterogeneous cells keep
+    # the workers dynamically balanced
+    chunks = _balanced_chunks([[0], [1], [2], [3], [4], [5]], 2)
+    assert len(chunks) == 6
+    assert sorted(i for c in chunks for i in c) == list(range(6))
+
+
+def test_run_batch_respects_small_workers_on_wide_pool():
+    # pool already 4 wide; a workers=2 batch must still complete fine
+    get_pool(4)
+    insts = _instances(6)
+    reports = run_batch(insts, ["splittable", "nonpreemptive"], workers=2)
+    assert len(reports) == 12
+    assert all(r.status in ("ok", "infeasible") for r in reports)
+    assert pool_max_workers() == 4      # reused, not shrunk
+
+
+def test_chunked_reports_keep_grid_order_and_labels():
+    insts = _instances(4)
+    algos = ["splittable", "nonpreemptive"]
+    pooled = run_batch(insts, algos, workers=3)
+    inline = run_batch(insts, algos, workers=0)
+    assert [r.instance_label for r in pooled] == \
+        [r.instance_label for r in inline]
+    assert [r.algorithm for r in pooled] == [r.algorithm for r in inline]
+    assert [str(r.makespan) for r in pooled] == \
+        [str(r.makespan) for r in inline]
