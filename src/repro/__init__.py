@@ -60,9 +60,10 @@ Or through the typed facade, at batch scale:
 from .api import (BatchRequest, Session, SolveRequest, SolverQuery)
 from .approx import (NonPreemptiveResult, PreemptiveResult, SplittableResult,
                      solve_nonpreemptive, solve_preemptive, solve_splittable)
-from .core import (CCSError, InfeasibleScheduleError, Instance,
-                   InvalidInstanceError, NonPreemptiveSchedule,
-                   PreemptiveSchedule, SplittableSchedule, validate,
+from .core import (CCSError, InfeasibleInstanceError, InfeasibleScheduleError,
+                   Instance, InvalidInstanceError, NonPreemptiveSchedule,
+                   PreemptiveSchedule, SplittableSchedule,
+                   UnsupportedInstanceError, validate,
                    validate_nonpreemptive, validate_preemptive,
                    validate_splittable)
 from .engine import ReportCache, SolveReport, run_batch
@@ -87,7 +88,9 @@ __all__ = [
     "validate_nonpreemptive",
     "CCSError",
     "InvalidInstanceError",
+    "InfeasibleInstanceError",
     "InfeasibleScheduleError",
+    "UnsupportedInstanceError",
     "SolverSpec",
     "get_solver",
     "list_solvers",

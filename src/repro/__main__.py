@@ -15,6 +15,9 @@ Subcommands::
     submit   send instances to a running service, optionally wait
     bench    run a named perf suite, write BENCH_results.json, optionally
              gate against a committed baseline
+    fuzz     seeded differential fuzzing: adversarial instances through
+             the cross-solver/fast-path/metamorphic oracles, minimised
+             counterexamples written in the tests/corpus format
 
 Examples::
 
@@ -30,6 +33,7 @@ Examples::
     python -m repro serve --port 8080 --db jobs.db --drainers 4
     python -m repro submit inst.json --url http://127.0.0.1:8080 \
         --algorithms splittable,lpt --wait
+    python -m repro fuzz --seed 7 --count 200 --workers 2
 
 Every run dispatches through the :class:`repro.api.Session` facade, so
 the CLI, the examples, the benchmarks and the service execute work
@@ -109,10 +113,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
     specs = list_solvers(variant=args.variant, kind=args.kind)
     rows = [[s.name, s.variant, s.kind, s.ratio_label, s.theorem or "-",
              "yes" if s.needs_milp else "no",
-             ",".join(s.accepts) or "-", s.summary]
+             ",".join(s.accepts) or "-",
+             str(s.default_epsilon) if s.default_epsilon is not None
+             else "-", s.summary]
             for s in specs]
     print(format_table(["name", "variant", "kind", "ratio", "theorem",
-                        "milp", "kwargs", "summary"], rows,
+                        "milp", "kwargs", "default eps", "summary"], rows,
                        title=f"{len(rows)} registered solver(s)"))
     return 0
 
@@ -346,6 +352,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import CorpusCase, run_campaign, save_corpus_file
+    solvers = None
+    if args.solvers:
+        solvers = []
+        for name in (s.strip() for s in args.solvers.split(",")):
+            if not name:
+                continue
+            try:
+                solvers.append(get_solver(name).name)
+            except UnknownSolverError as exc:
+                raise SystemExit(f"error: {exc.args[0]}")
+        if not solvers:
+            raise SystemExit("error: no solvers given")
+    session = Session(workers=args.workers or 0)
+    result = run_campaign(
+        seed=args.seed, count=args.count, solvers=solvers,
+        include_ptas=args.include_ptas, session=session,
+        time_budget=args.time_budget, shrink=not args.no_shrink,
+        progress=lambda line: print(line, file=sys.stderr))
+    budget_note = " (stopped at time budget)" if result.out_of_budget else ""
+    print(f"fuzz: seed={args.seed} ran {result.cases_run} case(s) in "
+          f"{result.elapsed_s:.1f}s{budget_note}: "
+          f"{len(result.violations)} violation(s)", file=sys.stderr)
+    if not result.violations:
+        return 0
+    import os
+    os.makedirs(args.artifacts, exist_ok=True)
+    for k, violation in enumerate(result.shrunk):
+        case = CorpusCase(
+            instance=violation.instance,
+            oracles=(violation.oracle,),
+            solvers=(violation.solver,),
+            note=violation.message,
+            source=f"repro fuzz --seed {args.seed} --count {args.count}"
+                   + ("" if args.no_shrink else " (shrunk)"),
+            # the per-case seed the oracle found (and the shrinker
+            # re-validated) the witness under; corpus replay re-draws
+            # the exact failing metamorphic transform from it
+            seed=violation.seed)
+        path = os.path.join(
+            args.artifacts,
+            f"seed{args.seed}-{k}-{violation.oracle}-"
+            f"{violation.solver}.json")
+        save_corpus_file(path, case)
+        print(f"fuzz: {violation}\n      minimised witness -> {path}",
+              file=sys.stderr)
+    print(json.dumps({"violations": [v.to_dict()
+                                     for v in result.shrunk]}, indent=2))
+    return 1
+
+
 _GENERATORS = {
     "uniform": uniform_instance,
     "zipf": zipf_instance,
@@ -493,6 +551,32 @@ def build_parser() -> argparse.ArgumentParser:
     pu.add_argument("--wait-timeout", type=float, default=300.0,
                     help="give up waiting after this many seconds")
     pu.set_defaults(func=_cmd_submit)
+
+    pz = sub.add_parser(
+        "fuzz", help="differential fuzzing: adversarial instances "
+                     "through every oracle")
+    pz.add_argument("--seed", type=int, default=0,
+                    help="campaign seed; same seed + count reproduces "
+                         "every case exactly")
+    pz.add_argument("--count", type=int, default=200,
+                    help="number of adversarial cases to generate")
+    pz.add_argument("--solvers",
+                    help="comma-separated registry names to sweep "
+                         "(default: every non-PTAS solver)")
+    pz.add_argument("--include-ptas", action="store_true",
+                    help="add the MILP-backed PTASes to the sweep "
+                         "(slower)")
+    pz.add_argument("--time-budget", type=float, default=None,
+                    help="stop the campaign after this many seconds")
+    pz.add_argument("--workers", type=int, default=0,
+                    help="run the solver sweep through the process-pool "
+                         "Session backend (0 = inline)")
+    pz.add_argument("--no-shrink", action="store_true",
+                    help="report raw counterexamples without minimising")
+    pz.add_argument("--artifacts", default="fuzz-artifacts",
+                    help="directory for minimised counterexample JSON "
+                         "(corpus format; created only on violation)")
+    pz.set_defaults(func=_cmd_fuzz)
 
     pf = sub.add_parser(
         "bench", help="run a perf suite and write BENCH_results.json")

@@ -81,14 +81,18 @@ class SolverQuery:
                 "allow_milp": self.allow_milp,
                 "time_budget": self.time_budget}
 
-    def candidates(self) -> list[SolverSpec]:
-        """Every matching solver, best guarantee first."""
-        return find_solvers(**self.criteria())
+    def candidates(self, for_instance=None) -> list[SolverSpec]:
+        """Every matching solver, best guarantee first. Passing the
+        concrete instance additionally drops solvers whose
+        :meth:`~repro.registry.SolverSpec.supports` predicate rejects it
+        (McNaughton on class-constrained inputs, MILPs past their
+        machine cap)."""
+        return find_solvers(**self.criteria(), instance=for_instance)
 
-    def select(self) -> SolverSpec:
-        """The single best match; raises
+    def select(self, for_instance=None) -> SolverSpec:
+        """The single best match (see :meth:`candidates`); raises
         :class:`~repro.registry.NoMatchingSolverError` when none fits."""
-        return select_solver(**self.criteria())
+        return select_solver(**self.criteria(), instance=for_instance)
 
     # ------------------------------------------------------------------ #
     # wire + CLI forms

@@ -41,14 +41,17 @@ def _check_timeout(timeout: float | None) -> float | None:
 
 
 def _resolve(algorithm: str | None, query: SolverQuery | None,
-             kwargs: Mapping[str, Any]) -> tuple[SolverSpec, dict]:
+             kwargs: Mapping[str, Any],
+             instance: Instance | None = None) -> tuple[SolverSpec, dict]:
     """Turn (algorithm | query, kwargs) into a concrete (spec, kwargs).
 
     Capability selection of a PTAS injects the query's epsilon into the
     kwargs so the selected solver actually delivers the requested
-    accuracy.
+    accuracy. When the concrete ``instance`` is known, selection skips
+    solvers whose ``supports`` predicate rejects it.
     """
-    spec = get_solver(algorithm) if algorithm is not None else query.select()
+    spec = (get_solver(algorithm) if algorithm is not None
+            else query.select(for_instance=instance))
     resolved = dict(kwargs)
     if query is not None and query.epsilon is not None \
             and "epsilon" in spec.accepts:
@@ -91,8 +94,12 @@ class SolveRequest:
         object.__setattr__(self, "timeout", _check_timeout(self.timeout))
 
     def resolve(self) -> tuple[SolverSpec, dict]:
-        """The concrete (SolverSpec, kwargs) this request runs as."""
-        return _resolve(self.algorithm, self.query, self.kwargs)
+        """The concrete (SolverSpec, kwargs) this request runs as.
+
+        Capability selection sees the request's instance, so a query
+        never resolves to a solver that does not support it."""
+        return _resolve(self.algorithm, self.query, self.kwargs,
+                        instance=self.instance)
 
     # ------------------------------------------------------------------ #
     # wire form

@@ -18,7 +18,7 @@ from math import ceil
 
 from ..core.bounds import (area_bound, presorted_class_count,
                            trivial_upper_bound)
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InfeasibleInstanceError
 from ..core.instance import Instance
 from ..core.schedule import NonPreemptiveSchedule
 from .lpt import lpt_partition
@@ -44,12 +44,9 @@ class NonPreemptiveResult:
 def solve_nonpreemptive(inst: Instance) -> NonPreemptiveResult:
     """Run the 7/3-approximation on ``inst``."""
     inst = inst.normalized()
+    inst.require_feasible()
     m, c = inst.machines, inst.class_slots
     budget = c * m
-    if inst.num_classes > budget:
-        raise InvalidInstanceError(
-            f"infeasible: C={inst.num_classes} classes exceed c*m={budget} "
-            "class slots")
 
     per_class = [[inst.processing_times[j] for j in inst.jobs_by_class[u]]
                  for u in range(inst.num_classes)]
@@ -77,7 +74,7 @@ def solve_nonpreemptive(inst: Instance) -> NonPreemptiveResult:
     # argument is a valid lower bound on slots used by *any* schedule of
     # makespan T, hence counts(UB) <= counts(OPT) <= c*m.
     if group_counts(hi) is None:  # pragma: no cover - defensive
-        raise InvalidInstanceError("no feasible guess up to the upper bound")
+        raise InfeasibleInstanceError(inst.num_classes, budget)
     while lo < hi:
         mid = (lo + hi) // 2
         if group_counts(mid) is not None:

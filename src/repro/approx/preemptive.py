@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from ..core.bounds import area_bound
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InfeasibleInstanceError
 from ..core.instance import Instance
 from ..core.schedule import PreemptiveSchedule
 from .borders import advanced_binary_search
@@ -50,6 +50,7 @@ class PreemptiveResult:
 def solve_preemptive(inst: Instance) -> PreemptiveResult:
     """Run the preemptive 2-approximation on ``inst``."""
     inst = inst.normalized()
+    inst.require_feasible()
     if inst.machines >= inst.num_jobs:
         return _one_job_per_machine(inst)
 
@@ -57,10 +58,8 @@ def solve_preemptive(inst: Instance) -> PreemptiveResult:
     m, c = inst.machines, inst.class_slots
     lb = max(area_bound(inst), Fraction(inst.pmax))
     T = advanced_binary_search(loads, m, c * m, lb)
-    if T is None:
-        raise InvalidInstanceError(
-            f"infeasible: C={inst.num_classes} classes exceed c*m={c * m} "
-            "class slots")
+    if T is None:    # pragma: no cover — ruled out by require_feasible
+        raise InfeasibleInstanceError(inst.num_classes, c * m)
 
     subs = split_classes(inst, T)
     any_full = any(s.is_full for s in subs)

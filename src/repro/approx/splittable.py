@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from ..core.bounds import area_bound
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InfeasibleInstanceError
 from ..core.instance import Instance
 from ..core.schedule import SplittableSchedule
 from .borders import advanced_binary_search, split_count
@@ -62,18 +62,17 @@ def solve_splittable(inst: Instance,
                      piece_cap: int = DEFAULT_PIECE_CAP) -> SplittableResult:
     """Run Algorithm 1 on ``inst``.
 
-    Raises :class:`InvalidInstanceError` when no feasible schedule exists
-    (more classes than total class slots, ``C > c * m``).
+    Raises :class:`InfeasibleInstanceError` when no feasible schedule
+    exists (more classes than total class slots, ``C > c * m``).
     """
     inst = inst.normalized()
+    inst.require_feasible()
     loads = inst.class_loads()
     m, c = inst.machines, inst.class_slots
     lb = area_bound(inst)
     T = advanced_binary_search(loads, m, c * m, lb)
-    if T is None:
-        raise InvalidInstanceError(
-            f"infeasible: C={inst.num_classes} classes exceed c*m={c * m} "
-            "class slots")
+    if T is None:    # pragma: no cover — ruled out by require_feasible
+        raise InfeasibleInstanceError(inst.num_classes, c * m)
 
     n_sub = split_count(loads, T)
     # Explicit whenever feasible; the compact two-row layout is only valid

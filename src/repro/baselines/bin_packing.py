@@ -57,6 +57,7 @@ def ffd_binary_search_schedule(inst: Instance) -> NonPreemptiveSchedule:
     a guarantee).
     """
     inst = inst.normalized()
+    inst.require_feasible()
     lo = max(inst.pmax, -(-inst.total_load // inst.machines))
     hi = int(trivial_upper_bound(inst))
     best: tuple[int, list[list[int]]] | None = None

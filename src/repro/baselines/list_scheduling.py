@@ -13,9 +13,15 @@ vs. infeasible.
 * :func:`lpt_class_schedule` — same, but jobs sorted by LPT. Still no
   guarantee under scarce class slots.
 
-Both can *fail* (dead-end: no machine can take the class), in which case
-they fall back to forcing the job onto the least loaded machine already
-running its class — if none exists the instance dead-ends and we raise.
+Both can *fail* (dead-end: no machine can take the class). A provably
+infeasible instance (``C > c * m``) raises the uniform
+:class:`~repro.core.errors.InfeasibleInstanceError` up front; a dead-end
+on a *feasible* instance — a bad class-slot commitment early on — raises
+:class:`~repro.core.errors.InfeasibleScheduleError`. The engine maps
+both onto report status ``infeasible`` (for a no-guarantee baseline that
+status only ever means "this heuristic found no schedule"); callers who
+need to know whether the *instance* is to blame check
+``Instance.is_feasible()`` or catch the distinct exception types.
 """
 
 from __future__ import annotations
@@ -53,12 +59,14 @@ def _place(inst: Instance, order: list[int]) -> NonPreemptiveSchedule:
 def greedy_list_schedule(inst: Instance) -> NonPreemptiveSchedule:
     """Least-loaded feasible machine, jobs in input order."""
     inst = inst.normalized()
+    inst.require_feasible()
     return _place(inst, list(range(inst.num_jobs)))
 
 
 def lpt_class_schedule(inst: Instance) -> NonPreemptiveSchedule:
     """Least-loaded feasible machine, jobs in LPT order."""
     inst = inst.normalized()
+    inst.require_feasible()
     order = sorted(range(inst.num_jobs),
                    key=lambda j: (-inst.processing_times[j], j))
     return _place(inst, order)

@@ -15,11 +15,18 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..core.errors import InvalidInstanceError
+from ..core.errors import UnsupportedInstanceError
 from ..core.instance import Instance
 from ..core.schedule import PreemptiveSchedule
 
-__all__ = ["mcnaughton_schedule", "mcnaughton_makespan"]
+__all__ = ["mcnaughton_schedule", "mcnaughton_makespan",
+           "mcnaughton_supported"]
+
+
+def mcnaughton_supported(inst: Instance) -> bool:
+    """The registry ``supports`` predicate: McNaughton only handles
+    instances whose class constraints never bind (``c >= C``)."""
+    return inst.normalized().is_trivially_unconstrained()
 
 
 def mcnaughton_makespan(inst: Instance) -> Fraction:
@@ -32,14 +39,16 @@ def mcnaughton_schedule(inst: Instance,
     """The wrap-around schedule at ``T = max(pmax, area)``.
 
     With ``enforce_classes=True`` (default) the instance must be trivially
-    unconstrained (``c >= C``) — otherwise McNaughton may violate the class
-    slots and we refuse rather than emit an infeasible schedule. Pass
-    ``False`` to build the class-oblivious schedule anyway (used by the
-    experiments to quantify what the class constraints cost).
+    unconstrained (``c >= C``) — otherwise McNaughton may violate the
+    class slots and we refuse with
+    :class:`~repro.core.errors.UnsupportedInstanceError`: the instance is
+    perfectly valid, this algorithm just does not apply. Pass ``False``
+    to build the class-oblivious schedule anyway (used by the experiments
+    to quantify what the class constraints cost).
     """
     inst_n = inst.normalized()
     if enforce_classes and not inst_n.is_trivially_unconstrained():
-        raise InvalidInstanceError(
+        raise UnsupportedInstanceError(
             "McNaughton ignores class constraints; this instance has "
             f"C={inst_n.num_classes} > c={inst_n.class_slots}")
     T = mcnaughton_makespan(inst_n)

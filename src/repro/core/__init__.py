@@ -5,8 +5,9 @@ from .bounds import (area_bound, class_slot_bound, nonpreemptive_lower_bound,
                      preemptive_lower_bound, splittable_lower_bound,
                      trivial_upper_bound)
 from .errors import (CapacityExceededError, CCSError, InfeasibleGuessError,
-                     InfeasibleScheduleError, InvalidInstanceError,
-                     SolverError)
+                     InfeasibleInstanceError, InfeasibleScheduleError,
+                     InvalidInstanceError, SolverError,
+                     UnsupportedInstanceError)
 from .instance import Instance, encoding_length
 from .schedule import (NonPreemptiveSchedule, Piece, PreemptiveSchedule,
                        SplittableSchedule, TimedPiece)
@@ -35,8 +36,10 @@ __all__ = [
     "trivial_upper_bound",
     "CCSError",
     "InvalidInstanceError",
+    "InfeasibleInstanceError",
     "InfeasibleScheduleError",
     "InfeasibleGuessError",
+    "UnsupportedInstanceError",
     "SolverError",
     "CapacityExceededError",
 ]

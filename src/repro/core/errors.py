@@ -17,6 +17,41 @@ class InvalidInstanceError(CCSError, ValueError):
     """The instance violates a structural requirement (e.g. p_j <= 0)."""
 
 
+class InfeasibleInstanceError(CCSError):
+    """The instance admits no feasible schedule in *any* regime.
+
+    For CCS this is exactly ``C > c * m`` (after the w.l.o.g. clamp of
+    ``c``): more classes than total class slots. Every solver that can
+    take the instance at all raises this one type for that condition
+    (a solver whose ``supports()`` predicate rejects the instance —
+    McNaughton on any class-constrained input — says
+    :class:`UnsupportedInstanceError` instead) — the execution engine
+    maps it to the ``infeasible`` report status and the ``/v1`` surface
+    rejects such instances with the ``infeasible`` error code — so
+    callers never have to know which implementation they asked.
+    """
+
+    def __init__(self, num_classes: int, slot_budget: int) -> None:
+        self.num_classes = num_classes
+        self.slot_budget = slot_budget
+        super().__init__(
+            f"infeasible instance: C={num_classes} classes exceed "
+            f"c*m={slot_budget} class slots")
+
+
+class UnsupportedInstanceError(CCSError):
+    """The instance is perfectly valid (and may well be feasible) but this
+    particular solver cannot handle it — e.g. McNaughton's rule on a
+    class-constrained instance, or a MILP past its machine cap.
+
+    Distinct from :class:`InfeasibleInstanceError` so batch runs and
+    capability selection can *skip* the solver instead of mislabeling the
+    instance; the engine reports it as status ``unsupported``. The
+    registry's ``SolverSpec.supports(inst)`` predicate lets callers test
+    before running.
+    """
+
+
 class InfeasibleScheduleError(CCSError):
     """A schedule failed feasibility validation.
 

@@ -24,7 +24,7 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
-from .errors import InvalidInstanceError
+from .errors import InfeasibleInstanceError, InvalidInstanceError
 
 __all__ = ["Instance", "class_loads", "encoding_length"]
 
@@ -224,6 +224,29 @@ class Instance:
         """True when class constraints never bind (``c >= C``): the problem
         degenerates to classical identical-machine scheduling."""
         return self.class_slots >= self.num_classes
+
+    def slot_budget(self) -> int:
+        """``c * m`` after normalisation: the total number of class slots,
+        the one quantity that decides feasibility."""
+        norm = self.normalized()
+        return norm.class_slots * norm.machines
+
+    def is_feasible(self) -> bool:
+        """Whether *any* schedule exists (in every regime: ``C <= c * m``).
+
+        Splitting or preempting classes never helps slot-wise, so this
+        single test is exact for splittable, preemptive and non-preemptive
+        scheduling alike.
+        """
+        return self.num_classes <= self.slot_budget()
+
+    def require_feasible(self) -> None:
+        """Raise :class:`~repro.core.errors.InfeasibleInstanceError` when
+        no schedule exists — the uniform entry check every solver runs, so
+        infeasibility surfaces as one exception type with one message."""
+        if not self.is_feasible():
+            raise InfeasibleInstanceError(self.num_classes,
+                                          self.slot_budget())
 
     # ------------------------------------------------------------------ #
     # misc

@@ -35,18 +35,27 @@ __all__ = ["ReportCache", "cache_key", "is_cacheable", "relabel_hit",
 DEFAULT_MAX_ENTRIES = 4096
 
 
+#: Bump whenever the *meaning* of a cached report changes for an
+#: unchanged (instance, algorithm, kwargs) triple, so persistent caches
+#: (the service's SQLite store, on-disk ReportCache dirs) never serve
+#: stale semantics across an upgrade. v2: the status taxonomy split
+#: ``unsupported`` out of ``infeasible`` (mcnaughton / capacity caps).
+CACHE_KEY_VERSION = "report-v2"
+
+
 def cache_key(inst: Instance, algorithm: str,
               kwargs: Mapping[str, Any] | None = None) -> str:
     """Deterministic key for (instance, algorithm, kwargs)."""
     payload = json.dumps(
-        {"instance": inst.digest(), "algorithm": algorithm,
+        {"v": CACHE_KEY_VERSION,
+         "instance": inst.digest(), "algorithm": algorithm,
          "kwargs": {k: repr(v) for k, v in sorted((kwargs or {}).items())}},
         sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
 #: Outcomes worth remembering; timeouts and crashes are retried instead.
-CACHEABLE_STATUSES = ("ok", "infeasible")
+CACHEABLE_STATUSES = ("ok", "infeasible", "unsupported")
 
 
 def is_cacheable(report: SolveReport) -> bool:

@@ -16,10 +16,16 @@ from ..io import _frac_parse, _frac_str
 
 __all__ = ["SolveReport", "STATUSES"]
 
-#: Every status a run can end in. ``infeasible`` means the solver declared
-#: the instance unschedulable (or, for no-guarantee baselines, produced a
-#: schedule that failed validation); ``error`` is an unexpected failure.
-STATUSES = ("ok", "timeout", "infeasible", "error")
+#: Every status a run can end in. ``infeasible`` means the instance
+#: admits no schedule (:class:`~repro.core.errors.InfeasibleInstanceError`
+#: — or, for no-guarantee baselines, the heuristic dead-ended / produced a
+#: schedule that failed validation); ``unsupported`` means the instance is
+#: fine but this solver cannot handle it
+#: (:class:`~repro.core.errors.UnsupportedInstanceError`, e.g. McNaughton
+#: on a class-constrained instance) — batch consumers should *skip* such
+#: reports, not count them as failures; ``error`` is an unexpected
+#: failure.
+STATUSES = ("ok", "timeout", "infeasible", "unsupported", "error")
 
 
 def _num_str(x: Fraction | int | float | None) -> str | int | float | None:

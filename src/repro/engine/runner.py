@@ -39,7 +39,9 @@ from contextlib import contextmanager
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from ..core.errors import InfeasibleScheduleError, InvalidInstanceError
+from ..core.errors import (CapacityExceededError, InfeasibleInstanceError,
+                           InfeasibleScheduleError, InvalidInstanceError,
+                           UnsupportedInstanceError)
 from ..core.fastmath import fast_paths_enabled
 from ..core.instance import Instance
 from ..core.validation import validate
@@ -172,7 +174,13 @@ def execute(inst: Instance, algorithm: str,
     except _TimeoutExceeded:
         return SolveReport(status="timeout", wall_time_s=elapsed(),
                            error=f"exceeded {timeout:g}s", **base)
-    except (InfeasibleScheduleError, InvalidInstanceError) as exc:
+    except (UnsupportedInstanceError, CapacityExceededError) as exc:
+        # the instance is fine; this solver just cannot take it — batch
+        # runs skip the cell instead of mislabeling the instance
+        return SolveReport(status="unsupported", wall_time_s=elapsed(),
+                           error=str(exc), **base)
+    except (InfeasibleInstanceError, InfeasibleScheduleError,
+            InvalidInstanceError) as exc:
         return SolveReport(status="infeasible", wall_time_s=elapsed(),
                            error=str(exc), **base)
     except Exception as exc:            # noqa: BLE001 — one cell, one report

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InfeasibleInstanceError
 from ..core.instance import Instance
 from ..core.schedule import NonPreemptiveSchedule
 
@@ -28,8 +28,7 @@ def opt_nonpreemptive_bruteforce(inst: Instance,
     n = inst.num_jobs
     m = min(inst.machines, n)
     c = inst.class_slots
-    if inst.num_classes > c * m:
-        raise InvalidInstanceError("infeasible: C > c*m")
+    inst.require_feasible()
     p = inst.processing_times
     order = sorted(range(n), key=lambda j: -p[j])
 
@@ -71,7 +70,7 @@ def opt_nonpreemptive_bruteforce(inst: Instance,
 
     dfs(0, 0)
     if best_assignment is None:
-        raise InvalidInstanceError("no feasible assignment found")
+        raise InfeasibleInstanceError(inst.num_classes, inst.slot_budget())
     if not return_schedule:
         return best
     sched = NonPreemptiveSchedule(n, inst.machines)

@@ -26,7 +26,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import lil_matrix
 
-from ..core.errors import SolverError
+from ..core.errors import SolverError, UnsupportedInstanceError
 from ..core.instance import Instance
 
 __all__ = [
@@ -38,13 +38,21 @@ __all__ = [
 _MAX_MACHINES = 64
 
 
-def _check_size(inst: Instance) -> Instance:
+def _check_size(inst: Instance, clamp_machines: bool = True) -> Instance:
     inst = inst.normalized()
-    if inst.machines > _MAX_MACHINES:
-        # more machines than jobs never helps; clamp for the exact solvers
+    # provable infeasibility (C > c*m) surfaces as the uniform taxonomy
+    # error before the backend ever runs, identical to every other solver
+    inst.require_feasible()
+    if clamp_machines and inst.machines > _MAX_MACHINES:
+        # more machines than jobs never helps when a job cannot run in
+        # parallel with itself (non-preemptive and preemptive regimes:
+        # one machine per job is already optimal). NOT valid for the
+        # splittable regime, where the optimum keeps shrinking as m
+        # grows — found by the differential fuzzer, which caught the
+        # clamped MILP reporting OPT=1 against a true 1/m.
         inst = inst.with_machines(min(inst.machines, max(inst.num_jobs, 1)))
     if inst.machines > _MAX_MACHINES:
-        raise SolverError(
+        raise UnsupportedInstanceError(
             f"exact MILP limited to {_MAX_MACHINES} machines, got "
             f"{inst.machines}")
     return inst
@@ -113,7 +121,7 @@ def opt_nonpreemptive(inst: Instance) -> int:
 
 def opt_splittable(inst: Instance) -> float:
     """Exact splittable optimum (may be fractional)."""
-    inst = _check_size(inst)
+    inst = _check_size(inst, clamp_machines=False)
     m, C, c = inst.machines, inst.num_classes, inst.class_slots
     P = inst.class_loads()
     nx, ny = C * m, C * m

@@ -1,0 +1,46 @@
+"""``repro.fuzz`` — the seeded differential-testing subsystem.
+
+Where :mod:`repro.workloads` generates *plausible* instances, this
+package generates *adversarial* ones and hunts for the three classes of
+bug a certified-approximation library can have:
+
+* **oracle violations** — a solver's makespan beats the optimum, exceeds
+  its proven ratio, fails validation, or mislabels an instance
+  (:mod:`repro.fuzz.oracles`);
+* **path divergence** — the exact-integer fast paths or the process-pool
+  backend disagree with the pure-Fraction inline reference;
+* **metamorphic breaks** — adding a machine makes the certified bound
+  worse, permuting jobs or relabeling classes changes a makespan,
+  scaling processing times does not scale the result.
+
+Everything is deterministic given a seed. Counterexamples are minimised
+by :mod:`repro.fuzz.shrinker` before being reported, and can be frozen
+into :mod:`repro.fuzz.corpus` files that the tier-1 suite replays
+forever (``tests/corpus/``). Drive it via ``repro fuzz --seed 7
+--count 200`` or :func:`repro.fuzz.runner.run_campaign`.
+"""
+
+from .corpus import (CORPUS_FORMAT, CorpusCase, load_corpus_file,
+                     replay_case, replay_corpus_dir, save_corpus_file)
+from .generators import GENERATORS, FuzzCase, draw_case
+from .oracles import ORACLES, Violation, run_oracle
+from .runner import FuzzResult, run_campaign
+from .shrinker import shrink_instance
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CorpusCase",
+    "FuzzCase",
+    "FuzzResult",
+    "GENERATORS",
+    "ORACLES",
+    "Violation",
+    "draw_case",
+    "load_corpus_file",
+    "replay_case",
+    "replay_corpus_dir",
+    "run_campaign",
+    "run_oracle",
+    "save_corpus_file",
+    "shrink_instance",
+]

@@ -1,0 +1,116 @@
+"""The committed regression corpus: fuzz findings frozen as JSON files.
+
+Every counterexample the fuzzer ever finds — minimised by
+:mod:`repro.fuzz.shrinker` — gets committed under ``tests/corpus/`` and
+replayed by ``tests/test_fuzz_corpus.py`` on every CI run, forever. The
+file format is deliberately plain::
+
+    {"format": "repro-fuzz-corpus-v1",
+     "note": "why this case exists",
+     "source": "fuzz --seed 7 (shrunk) | hand-written",
+     "oracles": ["reports", "differential"],
+     "solvers": ["splittable", "milp-nonpreemptive", ...],
+     "seed": 7,
+     "instance": {"processing_times": [...], "classes": [...],
+                  "machines": 1, "class_slots": 2}}
+
+``oracles`` names entries of :data:`repro.fuzz.oracles.ORACLES`
+(``metamorphic-*`` sub-relations replay the whole family); ``solvers``
+defaults to the standard fuzz sweep filtered by
+:func:`~repro.fuzz.oracles.eligible_solvers`. Replay is deterministic:
+the metamorphic transforms draw from ``seed`` — for a fuzzer-found
+witness, ``repro fuzz`` records the campaign seed its shrinker
+validated under, so replay re-draws the exact failing transform — and
+fall back to an instance-digest-derived seed for hand-written cases.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..io import instance_from_dict, instance_to_dict
+from .oracles import (DEFAULT_SOLVERS, Violation, eligible_solvers,
+                      run_oracle)
+
+__all__ = ["CORPUS_FORMAT", "CorpusCase", "load_corpus_file",
+           "replay_case", "replay_corpus_dir", "save_corpus_file"]
+
+CORPUS_FORMAT = "repro-fuzz-corpus-v1"
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One committed regression case."""
+
+    instance: Instance
+    oracles: tuple[str, ...]
+    solvers: tuple[str, ...] = ()       # () = the default sweep
+    note: str = ""
+    source: str = ""
+    seed: int | None = None             # None = derive from the digest
+    path: str = ""                      # where it was loaded from
+
+    def to_dict(self) -> dict:
+        return {"format": CORPUS_FORMAT, "note": self.note,
+                "source": self.source, "oracles": list(self.oracles),
+                "solvers": list(self.solvers), "seed": self.seed,
+                "instance": instance_to_dict(self.instance)}
+
+
+def save_corpus_file(path: str, case: CorpusCase) -> str:
+    """Write one corpus JSON file (pretty-printed: these get reviewed)."""
+    with open(path, "w") as fh:
+        json.dump(case.to_dict(), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_corpus_file(path: str) -> CorpusCase:
+    with open(path) as fh:
+        d = json.load(fh)
+    if d.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"{path}: not a {CORPUS_FORMAT} file "
+                         f"(format={d.get('format')!r})")
+    if not d.get("oracles"):
+        raise ValueError(f"{path}: corpus case names no oracles")
+    seed = d.get("seed")
+    return CorpusCase(instance=instance_from_dict(d["instance"]),
+                      oracles=tuple(d["oracles"]),
+                      solvers=tuple(d.get("solvers") or ()),
+                      note=str(d.get("note", "")),
+                      source=str(d.get("source", "")),
+                      seed=None if seed is None else int(seed), path=path)
+
+
+def replay_case(case: CorpusCase, session=None) -> list[Violation]:
+    """Run the case's oracles; an empty list means the regression stays
+    fixed. Deterministic: metamorphic randomness comes from the case's
+    recorded seed (the one the fuzzer's shrinker validated the witness
+    under), falling back to an instance-digest-derived seed."""
+    names = case.solvers or DEFAULT_SOLVERS
+    specs = eligible_solvers(case.instance, names)
+    seed = case.seed if case.seed is not None \
+        else int(case.instance.digest()[:8], 16)
+    out: list[Violation] = []
+    for oracle in case.oracles:
+        out.extend(run_oracle(oracle, case.instance, specs, session,
+                              np.random.default_rng(seed)))
+    return out
+
+
+def replay_corpus_dir(dirpath: str,
+                      session=None) -> dict[str, list[Violation]]:
+    """Replay every ``*.json`` corpus file under ``dirpath``; maps file
+    path to its violations (all values empty = corpus green)."""
+    results: dict[str, list[Violation]] = {}
+    for name in sorted(os.listdir(dirpath)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(dirpath, name)
+        results[path] = replay_case(load_corpus_file(path), session)
+    return results

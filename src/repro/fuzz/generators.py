@@ -1,0 +1,169 @@
+"""Adversarial instance generators for the differential fuzzer.
+
+Each generator targets a regime where the solvers' case analyses are
+known to be delicate — slot budgets exactly at the feasibility border,
+``c = 1`` pure partitions, single-class degenerate inputs, machine
+counts engineered to produce pathological ``Fraction`` denominators,
+heavy-tailed job sizes, and astronomically large ``m`` (the digest's
+big-int fallback and the compact splittable representation).
+
+All generators take a ``numpy.random.Generator`` and are deterministic
+given it. :func:`draw_case` picks one by weight; the weights favour
+small instances because those are the ones the differential oracle can
+check against exact optima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..workloads.generators import _ensure_all_classes
+
+__all__ = ["FuzzCase", "GENERATORS", "draw_case"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated fuzz input: the instance plus its provenance."""
+
+    generator: str
+    instance: Instance
+
+    @property
+    def tiny(self) -> bool:
+        """Small enough for exact ground truth (the differential oracle)."""
+        inst = self.instance
+        return inst.num_jobs <= 9 and inst.machines <= 4
+
+
+def _small_shape(rng: np.random.Generator) -> tuple[int, int, int, int]:
+    """A (n, C, m, c) shape in the exactly-checkable regime."""
+    n = int(rng.integers(2, 9))
+    C = int(rng.integers(1, n + 1))
+    m = int(rng.integers(1, 5))
+    c = int(rng.integers(1, C + 2))
+    return n, C, m, c
+
+
+def _classes(rng: np.random.Generator, n: int, C: int) -> tuple[int, ...]:
+    cls = _ensure_all_classes(rng.integers(0, C, size=n), C, rng)
+    return tuple(int(u) for u in cls)
+
+
+def near_infeasible(rng: np.random.Generator) -> Instance:
+    """``C`` within one of the slot budget ``c * m`` — feasible-but-tight,
+    exactly tight, and provably infeasible shapes in one family (the
+    infeasible ones exist on purpose: the taxonomy oracle asserts every
+    solver reports them identically)."""
+    m = int(rng.integers(1, 4))
+    c = int(rng.integers(1, 4))
+    C = max(1, c * m + int(rng.integers(-1, 2)))    # budget - 1 .. budget + 1
+    n = C + int(rng.integers(0, 4))
+    p = tuple(int(x) for x in rng.integers(1, 20, size=n))
+    return Instance(p, _classes(rng, n, C), m, c)
+
+
+def single_slot_partition(rng: np.random.Generator) -> Instance:
+    """``c = 1``: every machine runs exactly one class — scheduling
+    degenerates to partitioning classes onto machines, the regime where
+    greedy class-slot commitments hurt the most."""
+    n, C, m, _ = _small_shape(rng)
+    C = min(C, m)                                   # keep it feasible
+    p = tuple(int(x) for x in rng.integers(1, 30, size=n))
+    return Instance(p, _classes(rng, n, C), m, 1)
+
+
+def single_class(rng: np.random.Generator) -> Instance:
+    """``C = 1``: class constraints never bind; every solver must match
+    classical makespan scheduling (and McNaughton applies)."""
+    n = int(rng.integers(1, 9))
+    m = int(rng.integers(1, 5))
+    c = int(rng.integers(1, 4))
+    p = tuple(int(x) for x in rng.integers(1, 40, size=n))
+    return Instance(p, (0,) * n, m, c)
+
+
+def fraction_stress(rng: np.random.Generator) -> Instance:
+    """Prime machine counts and co-prime job sizes so every area bound,
+    border and split piece carries an awkward denominator — the shapes
+    where exact-rational and scaled-integer arithmetic can drift."""
+    m = int(rng.choice([3, 5, 7, 11, 13]))
+    n = int(rng.integers(2, 8))
+    C = int(rng.integers(1, n + 1))
+    c = int(rng.integers(1, 3))
+    primes = np.array([1, 2, 3, 5, 7, 11, 13, 17, 19, 23])
+    p = tuple(int(x) for x in rng.choice(primes[1:], size=n))
+    return Instance(p, _classes(rng, n, C), m, c)
+
+
+def heavy_tailed(rng: np.random.Generator) -> Instance:
+    """Pareto-style job sizes spanning five orders of magnitude: one
+    giant job dominating ``pmax`` next to dust-sized fillers."""
+    n = int(rng.integers(4, 30))
+    C = int(rng.integers(1, min(n, 6) + 1))
+    m = int(rng.integers(1, 6))
+    c = int(rng.integers(1, C + 1))
+    raw = (1.0 / (1.0 - rng.random(size=n))) ** 2.5
+    p = tuple(int(min(10**6, max(1, round(x)))) for x in raw)
+    return Instance(p, _classes(rng, n, C), m, c)
+
+
+def huge_m(rng: np.random.Generator) -> Instance:
+    """Machine counts past int64: exercises the digest's big-int
+    fallback and the splittable solver's compact output mode (the
+    paper's ``m`` exponential in ``n`` regime)."""
+    m = int(rng.choice(np.array([0, 1, 2])) * 7 + 2) ** 67 \
+        + int(rng.integers(0, 1000))
+    n = int(rng.integers(1, 7))
+    C = int(rng.integers(1, n + 1))
+    c = int(rng.integers(1, C + 1))
+    p = tuple(int(x) for x in rng.integers(1, 50, size=n))
+    return Instance(p, _classes(rng, n, C), m, c)
+
+
+def tight_budget(rng: np.random.Generator) -> Instance:
+    """``C = c * m`` exactly: class slots are maximally scarce; every
+    feasible schedule must pack classes perfectly."""
+    m = int(rng.integers(1, 4))
+    c = int(rng.integers(1, 3))
+    C = c * m
+    per = int(rng.integers(1, 3))
+    n = C * per
+    p = tuple(int(x) for x in rng.integers(1, 25, size=n))
+    cls = tuple(int(u) for u in np.repeat(np.arange(C), per))
+    return Instance(p, cls, m, c)
+
+
+def uniform_tiny(rng: np.random.Generator) -> Instance:
+    """Unstructured tiny instances — the bread and butter the
+    differential oracle checks against exact optima."""
+    n, C, m, c = _small_shape(rng)
+    p = tuple(int(x) for x in rng.integers(1, 12, size=n))
+    return Instance(p, _classes(rng, n, C), m, c)
+
+
+#: Name -> (generator, draw weight). Weights favour exactly-checkable
+#: shapes; the expensive/huge families stay rare but guaranteed.
+GENERATORS = {
+    "uniform-tiny": (uniform_tiny, 5),
+    "near-infeasible": (near_infeasible, 4),
+    "single-slot": (single_slot_partition, 3),
+    "single-class": (single_class, 2),
+    "fraction-stress": (fraction_stress, 3),
+    "tight-budget": (tight_budget, 3),
+    "heavy-tailed": (heavy_tailed, 2),
+    "huge-m": (huge_m, 1),
+}
+
+_NAMES = list(GENERATORS)
+_WEIGHTS = np.array([w for _, w in GENERATORS.values()], dtype=float)
+_WEIGHTS /= _WEIGHTS.sum()
+
+
+def draw_case(rng: np.random.Generator) -> FuzzCase:
+    """One weighted-random adversarial case (deterministic given rng)."""
+    name = _NAMES[int(rng.choice(len(_NAMES), p=_WEIGHTS))]
+    return FuzzCase(name, GENERATORS[name][0](rng))

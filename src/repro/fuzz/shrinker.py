@@ -1,0 +1,118 @@
+"""Counterexample minimisation.
+
+A raw fuzz failure is a 30-job instance with six-digit processing times;
+the committed regression corpus wants the 3-job essence. The shrinker
+greedily applies structure-preserving reductions — drop jobs, merge
+classes, shrink processing times, remove machines, tighten slots — and
+keeps any reduction under which the caller's predicate (\"does the
+violation still reproduce?\") holds, until a fixpoint.
+
+Deterministic: candidates are tried in a fixed order, so the same
+failure always shrinks to the same witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..core.errors import InvalidInstanceError
+from ..core.instance import Instance
+
+__all__ = ["shrink_instance"]
+
+
+def _cost(inst: Instance) -> tuple:
+    """Lexicographic size: fewer jobs beats everything, then smaller
+    loads, machines, classes, slots."""
+    return (inst.num_jobs, inst.total_load, inst.machines,
+            inst.num_classes, inst.class_slots)
+
+
+def _rebuild(processing_times, classes, machines,
+             class_slots) -> Instance | None:
+    """Build a candidate, re-canonicalising class labels; ``None`` when
+    the reduction produced an invalid shape (e.g. no jobs left)."""
+    if not processing_times or machines < 1 or class_slots < 1:
+        return None
+    try:
+        return Instance.create(list(processing_times), list(classes),
+                               machines, class_slots)
+    except InvalidInstanceError:    # pragma: no cover - defensive
+        return None
+
+
+def _candidates(inst: Instance) -> Iterator[Instance]:
+    """All one-step reductions of ``inst``, most aggressive first."""
+    p, cls = inst.processing_times, inst.classes
+    n, m, c = inst.num_jobs, inst.machines, inst.class_slots
+
+    # drop half the jobs (front / back), then single jobs
+    if n > 1:
+        half = n // 2
+        for keep in ((slice(half, None)), (slice(None, half))):
+            cand = _rebuild(p[keep], cls[keep], m, c)
+            if cand is not None:
+                yield cand
+        for j in range(n):
+            cand = _rebuild(p[:j] + p[j + 1:], cls[:j] + cls[j + 1:], m, c)
+            if cand is not None:
+                yield cand
+
+    # shrink the machine count (big steps first)
+    for target in (1, m // 2, m - 1):
+        if 1 <= target < m:
+            cand = _rebuild(p, cls, target, c)
+            if cand is not None:
+                yield cand
+
+    # tighten the class-slot count
+    for target in (1, c - 1):
+        if 1 <= target < c:
+            cand = _rebuild(p, cls, m, target)
+            if cand is not None:
+                yield cand
+
+    # merge each class into class 0 (halves the label space quickly)
+    for u in range(1, inst.num_classes):
+        merged = [0 if x == u else x for x in cls]
+        cand = _rebuild(p, merged, m, c)
+        if cand is not None:
+            yield cand
+
+    # shrink processing times: all-to-1, then halve the largest
+    if any(x > 1 for x in p):
+        cand = _rebuild([1] * n, cls, m, c)
+        if cand is not None:
+            yield cand
+        j = max(range(n), key=lambda i: p[i])
+        cand = _rebuild(p[:j] + (max(1, p[j] // 2),) + p[j + 1:], cls, m, c)
+        if cand is not None:
+            yield cand
+
+
+def shrink_instance(inst: Instance,
+                    still_fails: Callable[[Instance], bool],
+                    max_checks: int = 400) -> Instance:
+    """The smallest instance (by :func:`_cost`) reachable from ``inst``
+    through reductions under which ``still_fails`` keeps returning True.
+
+    ``still_fails`` is called at most ``max_checks`` times; it must be
+    deterministic and must never raise (wrap oracle re-runs in a
+    try/except that returns False).
+    """
+    current = inst
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for cand in _candidates(current):
+            if checks >= max_checks:
+                break
+            if _cost(cand) >= _cost(current):
+                continue
+            checks += 1
+            if still_fails(cand):
+                current = cand
+                improved = True
+                break                   # restart from the smaller witness
+    return current

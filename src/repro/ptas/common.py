@@ -31,12 +31,15 @@ def delta_for_epsilon(epsilon: float | Fraction, budget: int = 7) -> Fraction:
     ``budget`` is the constant hidden in the paper's ``eps = O(delta)``:
     our error analyses lose at most ``budget * delta`` overall, so we pick
     ``q = ceil(budget / eps)``, giving a final ratio of at most
-    ``1 + epsilon``.
+    ``1 + epsilon``. Any positive ``epsilon`` is accepted — values above 1
+    are the coarse (fast) regime, floored at the minimal grid ``q = 2``,
+    where the guarantee ``1 + budget * delta <= 1 + epsilon`` still holds;
+    the registry's PTAS default epsilon lives there.
     """
     eps = Fraction(epsilon).limit_denominator(10**6)
-    if not 0 < eps <= 1:
-        raise ValueError("epsilon must be in (0, 1]")
-    q = int(ceil(budget / eps))
+    if eps <= 0:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    q = max(2, int(ceil(budget / eps)))
     return Fraction(1, q)
 
 

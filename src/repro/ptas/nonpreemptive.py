@@ -19,7 +19,7 @@ from fractions import Fraction
 
 from ..core.bounds import nonpreemptive_lower_bound, trivial_upper_bound
 from ..core.errors import (CapacityExceededError, InfeasibleGuessError,
-                           InvalidInstanceError)
+                           InfeasibleInstanceError)
 from ..core.instance import Instance
 from ..core.schedule import NonPreemptiveSchedule
 from ._milp_util import FeasibilityMILP
@@ -64,13 +64,16 @@ def ptas_nonpreemptive(inst: Instance,
                        enum_cap: int = 200_000) -> PTASResult:
     """(1 + eps)-approximation for non-preemptive CCS (Theorem 14)."""
     inst = inst.normalized()
+    # feasibility first: an infeasible instance is 'infeasible' from
+    # every solver, even one that is also over this PTAS's machine cap
+    inst.require_feasible()
     q = _resolve_q(epsilon, delta)
     if inst.machines > machine_cap:
         raise CapacityExceededError("machines (explicit PTAS)",
                                     inst.machines, machine_cap)
     lb = nonpreemptive_lower_bound(inst)
-    if lb < 0:
-        raise InvalidInstanceError("infeasible: C > c*m")
+    if lb < 0:    # pragma: no cover — ruled out by require_feasible
+        raise InfeasibleInstanceError(inst.num_classes, inst.slot_budget())
     ub = int(trivial_upper_bound(inst))
 
     def try_guess(T: int) -> _GuessArtifact:

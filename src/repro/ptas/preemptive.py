@@ -28,7 +28,7 @@ import networkx as nx
 
 from ..core.bounds import preemptive_lower_bound, trivial_upper_bound
 from ..core.errors import (CapacityExceededError, InfeasibleGuessError,
-                           InvalidInstanceError)
+                           InfeasibleInstanceError)
 from ..core.instance import Instance
 from ..core.schedule import PreemptiveSchedule
 from ._milp_util import FeasibilityMILP
@@ -57,6 +57,7 @@ def ptas_preemptive(inst: Instance,
                     machine_cap: int = DEFAULT_MACHINE_CAP) -> PTASResult:
     """(1 + eps)-approximation for preemptive CCS (Theorem 19)."""
     inst = inst.normalized()
+    inst.require_feasible()
     q = _resolve_q(epsilon, delta)
     dlt = Fraction(1, q)
     eps_out = Fraction(epsilon).limit_denominator(10**6) if epsilon is not None \
@@ -75,8 +76,8 @@ def ptas_preemptive(inst: Instance,
         raise CapacityExceededError("machines (preemptive PTAS)",
                                     inst.machines, machine_cap)
     lb_f = preemptive_lower_bound(inst)
-    if lb_f < 0:
-        raise InvalidInstanceError("infeasible: C > c*m")
+    if lb_f < 0:    # pragma: no cover — ruled out by require_feasible
+        raise InfeasibleInstanceError(inst.num_classes, inst.slot_budget())
     lb = int(lb_f) if lb_f == int(lb_f) else int(lb_f) + 1
     ub = int(trivial_upper_bound(inst))
 

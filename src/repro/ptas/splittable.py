@@ -24,7 +24,7 @@ from functools import lru_cache
 
 from ..core.bounds import splittable_lower_bound, trivial_upper_bound
 from ..core.errors import (CapacityExceededError, InfeasibleGuessError,
-                           InvalidInstanceError)
+                           InfeasibleInstanceError)
 from ..core.instance import Instance
 from ..core.schedule import SplittableSchedule
 from ._milp_util import FeasibilityMILP
@@ -72,13 +72,14 @@ def ptas_splittable(inst: Instance, epsilon: float | Fraction | None = None,
     result is then the honest quality statement) must be given.
     """
     inst = inst.normalized()
+    inst.require_feasible()
     q = _resolve_q(epsilon, delta)
     if inst.machines > machine_cap:
         raise CapacityExceededError("machines (explicit PTAS)",
                                     inst.machines, machine_cap)
     lb = splittable_lower_bound(inst)
-    if lb < 0:
-        raise InvalidInstanceError("infeasible: C > c*m")
+    if lb < 0:    # pragma: no cover — ruled out by require_feasible
+        raise InfeasibleInstanceError(inst.num_classes, inst.slot_budget())
     ub = max(trivial_upper_bound(inst), lb)
     dlt = Fraction(1, q)
 

@@ -112,14 +112,37 @@ class SolverSpec:
     run: Callable[..., RawSolve]
     accepts: tuple[str, ...] = ()     # accepted keyword arguments
     needs_milp: bool = False          # pulls in the SciPy/HiGHS backend
+    #: Accuracy a PTAS runs at when the caller names neither ``epsilon``
+    #: nor ``delta``: ``spec.solve(inst)`` just works, at the coarse/fast
+    #: end of the accuracy spectrum. ``None`` for non-PTAS solvers.
+    default_epsilon: Fraction | None = None
+    #: Capability predicate: ``False`` means this solver cannot handle
+    #: the (perfectly valid) instance — running it would raise
+    #: :class:`~repro.core.errors.UnsupportedInstanceError`. ``None``
+    #: means "supports everything". Kept lazy so probing it never drags
+    #: in the MILP backend.
+    supports_fn: Callable[[Instance], bool] | None = None
+
+    def supports(self, inst: Instance) -> bool:
+        """Whether this solver can run ``inst`` at all (capability, not
+        feasibility — an infeasible instance is 'supported' and reported
+        infeasible uniformly)."""
+        return self.supports_fn is None or self.supports_fn(inst)
 
     def solve(self, inst: Instance, **kwargs: Any) -> RawSolve:
-        """Run the solver, rejecting kwargs it does not accept."""
+        """Run the solver, rejecting kwargs it does not accept.
+
+        A PTAS called with neither ``epsilon`` nor ``delta`` runs at its
+        registry-visible :attr:`default_epsilon` instead of raising.
+        """
         unknown = sorted(set(kwargs) - set(self.accepts))
         if unknown:
             raise TypeError(
                 f"solver {self.name!r} does not accept {unknown}; "
                 f"accepted kwargs: {sorted(self.accepts) or 'none'}")
+        if self.default_epsilon is not None and "epsilon" in self.accepts \
+                and "epsilon" not in kwargs and "delta" not in kwargs:
+            kwargs = dict(kwargs, epsilon=self.default_epsilon)
         return self.run(inst, **kwargs)
 
 
@@ -222,7 +245,8 @@ def effective_ratio(spec: SolverSpec,
 def find_solvers(*, variant: str | None = None, kind: str | None = None,
                  max_ratio: Fraction | str | int | float | None = None,
                  epsilon: float | None = None, allow_milp: bool = True,
-                 time_budget: float | None = None) -> list[SolverSpec]:
+                 time_budget: float | None = None,
+                 instance: Instance | None = None) -> list[SolverSpec]:
     """Every registered solver satisfying the capability constraints,
     ranked best first.
 
@@ -233,7 +257,11 @@ def find_solvers(*, variant: str | None = None, kind: str | None = None,
     always qualify, constant-factor ones only when their ratio fits);
     ``allow_milp=False`` drops anything needing the SciPy/HiGHS backend;
     ``time_budget`` (seconds per run) excludes kinds whose
-    :data:`KIND_COST_TIERS` tier exceeds it.
+    :data:`KIND_COST_TIERS` tier exceeds it; ``instance`` drops solvers
+    whose :meth:`SolverSpec.supports` predicate rejects that concrete
+    instance (McNaughton on class-constrained inputs, MILPs past their
+    machine cap), so capability selection skips them instead of handing
+    back a solver that would immediately report ``unsupported``.
 
     Ranking: strongest proven guarantee first (unproven last), ties
     broken by lighter dependencies (no MILP first) and then registration
@@ -260,6 +288,8 @@ def find_solvers(*, variant: str | None = None, kind: str | None = None,
             continue
         if time_budget is not None \
                 and KIND_COST_TIERS[spec.kind] > time_budget:
+            continue
+        if instance is not None and not spec.supports(instance):
             continue
         ratio = effective_ratio(spec, epsilon)
         if bound is not None and (ratio is None or ratio > bound):
@@ -375,6 +405,61 @@ def _run_brute_force(inst: Instance) -> RawSolve:
 
 
 # --------------------------------------------------------------------- #
+# capability predicates (lazy: probing them must not import SciPy)
+# --------------------------------------------------------------------- #
+
+#: The coarse/fast accuracy a PTAS runs at when the caller names neither
+#: epsilon nor delta: 7/2 derives the minimal grid q = 2 through
+#: :func:`repro.ptas.common.delta_for_epsilon` — the same accuracy the
+#: CLI's ``--delta 2`` default has always used.
+DEFAULT_PTAS_EPSILON = Fraction(7, 2)
+
+
+#: Mirror of :data:`repro.exact.milp._MAX_MACHINES`, duplicated here so
+#: probing ``supports()`` never imports SciPy (a test asserts the two
+#: stay equal).
+_MILP_MACHINE_CAP = 64
+
+
+def _milp_supports(inst: Instance) -> bool:
+    # within the machine cap after the more-machines-than-jobs clamp
+    # (sound for the regimes where jobs cannot self-parallelise)
+    return min(inst.machines, max(inst.num_jobs, 1)) <= _MILP_MACHINE_CAP
+
+
+def _milp_splittable_supports(inst: Instance) -> bool:
+    # the clamp is unsound for splittable scheduling (the optimum keeps
+    # improving with m), so the splittable MILP supports only literal
+    # machine counts within its cap
+    return inst.machines <= _MILP_MACHINE_CAP
+
+
+#: Mirrors of ``repro.ptas.<module>.DEFAULT_MACHINE_CAP``, duplicated
+#: for the same SciPy-free-probing reason as :data:`_MILP_MACHINE_CAP`
+#: (the same test pins them to the modules' values).
+_PTAS_MACHINE_CAPS = {"splittable": 20_000, "preemptive": 12,
+                      "nonpreemptive": 20_000}
+
+
+def _ptas_machine_cap_supports(module: str) -> Callable[[Instance], bool]:
+    """True iff the machine count fits the module's explicit-PTAS cap
+    (the preemptive PTAS additionally short-circuits ``m >= n``, where it
+    never builds the configuration MILP)."""
+    cap = _PTAS_MACHINE_CAPS[module]
+
+    def check(inst: Instance) -> bool:
+        if module == "preemptive" and inst.machines >= inst.num_jobs:
+            return True
+        return inst.machines <= cap
+    return check
+
+
+def _mcnaughton_supports(inst: Instance) -> bool:
+    from .baselines.mcnaughton import mcnaughton_supported
+    return mcnaughton_supported(inst)
+
+
+# --------------------------------------------------------------------- #
 # registrations
 # --------------------------------------------------------------------- #
 
@@ -401,40 +486,49 @@ register(SolverSpec(
     ratio=None, ratio_label="1+eps", theorem="Theorems 10/11",
     summary="Configuration MILP over rounded class modules",
     run=_ptas_adapter("ptas_splittable"),
-    accepts=("epsilon", "delta", "theorem11"), needs_milp=True))
+    accepts=("epsilon", "delta", "theorem11"), needs_milp=True,
+    default_epsilon=DEFAULT_PTAS_EPSILON,
+    supports_fn=_ptas_machine_cap_supports("splittable")))
 
 register(SolverSpec(
     name="ptas-preemptive", variant="preemptive", kind="ptas",
     ratio=None, ratio_label="1+eps", theorem="Theorem 19",
     summary="Configuration MILP + wrap-around legalisation",
     run=_ptas_adapter("ptas_preemptive"),
-    accepts=("epsilon", "delta"), needs_milp=True))
+    accepts=("epsilon", "delta"), needs_milp=True,
+    default_epsilon=DEFAULT_PTAS_EPSILON,
+    supports_fn=_ptas_machine_cap_supports("preemptive")))
 
 register(SolverSpec(
     name="ptas-nonpreemptive", variant="nonpreemptive", kind="ptas",
     ratio=None, ratio_label="1+eps", theorem="Theorem 14",
     summary="Rounded job sizes + configuration MILP",
     run=_ptas_adapter("ptas_nonpreemptive"),
-    accepts=("epsilon", "delta"), needs_milp=True))
+    accepts=("epsilon", "delta"), needs_milp=True,
+    default_epsilon=DEFAULT_PTAS_EPSILON,
+    supports_fn=_ptas_machine_cap_supports("nonpreemptive")))
 
 register(SolverSpec(
     name="milp-nonpreemptive", variant="nonpreemptive", kind="exact",
     ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
     summary="Assignment MILP (ground truth for small instances)",
-    run=_milp_adapter("opt_nonpreemptive"), needs_milp=True),
+    run=_milp_adapter("opt_nonpreemptive"), needs_milp=True,
+    supports_fn=_milp_supports),
     aliases=("milp",))
 
 register(SolverSpec(
     name="milp-splittable", variant="splittable", kind="exact",
     ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
     summary="Per-class fluid MILP (ground truth for small instances)",
-    run=_milp_adapter("opt_splittable"), needs_milp=True))
+    run=_milp_adapter("opt_splittable"), needs_milp=True,
+    supports_fn=_milp_splittable_supports))
 
 register(SolverSpec(
     name="milp-preemptive", variant="preemptive", kind="exact",
     ratio=Fraction(1), ratio_label="1 (exact)", theorem="",
     summary="Per-job fluid MILP (ground truth for small instances)",
-    run=_milp_adapter("opt_preemptive"), needs_milp=True))
+    run=_milp_adapter("opt_preemptive"), needs_milp=True,
+    supports_fn=_milp_supports))
 
 register(SolverSpec(
     name="brute-force", variant="nonpreemptive", kind="exact",
@@ -470,4 +564,4 @@ register(SolverSpec(
     name="mcnaughton", variant="preemptive", kind="baseline",
     ratio=None, ratio_label="1 (if c >= C)", theorem="",
     summary="Wrap-around rule; optimal when classes never bind",
-    run=_run_mcnaughton))
+    run=_run_mcnaughton, supports_fn=_mcnaughton_supports))

@@ -23,8 +23,12 @@ Every ``/v1`` error is a uniform envelope::
                "detail": {"suggestions": ["splittable", ...]}}}
 
 with status-appropriate codes: ``invalid_json``, ``invalid_request``,
-``unknown_solver``, ``no_matching_solver``, ``too_large`` (400),
-``not_found`` (404), ``not_ready`` (409), ``body_too_large`` (413).
+``unknown_solver``, ``no_matching_solver``, ``too_large``,
+``infeasible`` (400), ``not_found`` (404), ``not_ready`` (409),
+``body_too_large`` (413). ``infeasible`` is the stable code for an
+instance that provably admits no schedule (``C > c * m``): the service
+rejects it at submission instead of queueing work every solver would
+refuse identically.
 
 The pre-versioning routes (``/jobs``, ``/solvers``, ...) remain as thin
 **deprecated** aliases with their original flat ``{"error": "..."}``
@@ -62,7 +66,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..api import Session, SolveRequest
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InfeasibleInstanceError, InvalidInstanceError
 from ..engine.pool import shutdown_pool
 from ..io import instance_from_dict
 from ..registry import (NoMatchingSolverError, UnknownSolverError,
@@ -106,6 +110,19 @@ def _bad(code: str, message: str, detail: Any = None) -> _ApiError:
     return _ApiError(400, code, message, detail)
 
 
+def _check_feasible(inst) -> None:
+    """Reject provably unschedulable instances (``C > c * m``) with the
+    stable ``infeasible`` envelope code — uniform across ``POST /v1/jobs``
+    and ``POST /v1/solve``, mirroring
+    :class:`~repro.core.errors.InfeasibleInstanceError` in the library."""
+    try:
+        inst.require_feasible()
+    except InfeasibleInstanceError as exc:
+        raise _bad("infeasible", str(exc),
+                   {"num_classes": exc.num_classes,
+                    "slot_budget": exc.slot_budget})
+
+
 def _parse_algorithms(raw: Any) -> list[tuple[str, dict]]:
     if not isinstance(raw, list) or not raw:
         raise _bad("invalid_request", "'algorithms' must be a non-empty list")
@@ -144,6 +161,7 @@ def _parse_submission(body: dict) -> dict:
         inst = instance_from_dict(body["instance"])
     except (InvalidInstanceError, KeyError, TypeError, ValueError) as exc:
         raise _bad("invalid_request", f"invalid instance: {exc}")
+    _check_feasible(inst)
     timeout = body.get("timeout")
     if timeout is not None and (not isinstance(timeout, (int, float))
                                 or timeout <= 0):
@@ -161,7 +179,10 @@ def _solver_dict(spec) -> dict:
     return {"name": spec.name, "variant": spec.variant, "kind": spec.kind,
             "ratio": spec.ratio_label, "theorem": spec.theorem or None,
             "needs_milp": spec.needs_milp,
-            "accepts": list(spec.accepts), "summary": spec.summary}
+            "accepts": list(spec.accepts), "summary": spec.summary,
+            "default_epsilon": (None if spec.default_epsilon is None
+                                else str(spec.default_epsilon)),
+            "restricted": spec.supports_fn is not None}
 
 
 def _split_version(path: str) -> tuple[bool, str]:
@@ -356,6 +377,7 @@ class _Handler(BaseHTTPRequestHandler):
         except (InvalidInstanceError, KeyError, TypeError,
                 ValueError) as exc:
             raise _bad("invalid_request", f"invalid solve request: {exc}")
+        _check_feasible(request.instance)
         if request.instance.num_jobs > SYNC_SOLVE_MAX_JOBS:
             raise _bad(
                 "too_large",

@@ -6,7 +6,8 @@ import pytest
 from repro import Instance
 from repro.baselines import (ffd_binary_search_schedule, ffd_pack,
                              greedy_list_schedule, lpt_class_schedule)
-from repro.core.errors import InfeasibleScheduleError
+from repro.core.errors import (InfeasibleInstanceError,
+                               InfeasibleScheduleError)
 from repro.core.validation import validate_nonpreemptive
 from repro.workloads import uniform_instance
 
@@ -29,9 +30,24 @@ class TestListScheduling:
         l = lpt_class_schedule(inst).makespan(inst)
         assert l <= g * 1.5
 
-    def test_dead_end_detected(self):
-        # 4 classes, 2 machines, c=1: greedy must fail on the last classes
+    def test_provably_infeasible_is_uniform(self):
+        # 4 classes, 2 machines, c=1: C > c*m — the uniform taxonomy
+        # error, identical to every other solver, not a greedy dead-end
         inst = Instance((5, 5, 5, 5), (0, 1, 2, 3), 2, 1)
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_list_schedule(inst)
+        with pytest.raises(InfeasibleInstanceError):
+            lpt_class_schedule(inst)
+        with pytest.raises(InfeasibleInstanceError):
+            ffd_binary_search_schedule(inst)
+
+    def test_dead_end_on_feasible_instance(self):
+        # feasible (class 0 on one machine, class 1 on the other) but
+        # greedy's least-loaded rule opens class 0 on both machines first
+        # — a heuristic failure, so InfeasibleScheduleError, NOT the
+        # instance-level taxonomy error
+        inst = Instance((1, 1, 5), (0, 0, 1), 2, 1)
+        assert inst.is_feasible()
         with pytest.raises(InfeasibleScheduleError):
             greedy_list_schedule(inst)
 

@@ -106,9 +106,11 @@ class TestRunBatch:
         assert rep.status == "timeout"
 
     def test_solver_crash_is_one_report(self, inst_a):
-        # mcnaughton refuses constrained instances -> infeasible, not a raise
+        # mcnaughton cannot take constrained instances -> the cell is
+        # reported unsupported (skippable), not raised and not mislabeled
+        # as the instance being infeasible
         reps = run_batch([inst_a], ["mcnaughton", "splittable"], workers=0)
-        assert reps[0].status == "infeasible"
+        assert reps[0].status == "unsupported"
         assert reps[1].ok
 
     def test_empty_inputs_rejected(self, inst_a):

@@ -1,0 +1,40 @@
+"""Replay the committed fuzz-regression corpus (tests/corpus/).
+
+Every file is a counterexample the differential fuzzer once found (or a
+hand-written taxonomy boundary), minimised and frozen. Replaying them
+through the oracles on every CI run keeps each bug fixed forever; a new
+fuzz finding joins the corpus by dropping its minimised-witness JSON
+(exactly what ``repro fuzz`` writes to ``--artifacts``) into the
+directory — no new test code needed.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import load_corpus_file, replay_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(f for f in os.listdir(CORPUS_DIR)
+                      if f.endswith(".json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 8
+
+
+@pytest.mark.parametrize("filename", CORPUS_FILES)
+def test_corpus_case_replays_clean(filename):
+    case = load_corpus_file(os.path.join(CORPUS_DIR, filename))
+    assert case.oracles, f"{filename} names no oracles"
+    violations = replay_case(case)
+    assert not violations, "\n".join(
+        f"{filename}: {v}" for v in violations)
+
+
+def test_corpus_notes_explain_themselves():
+    # a corpus case without a note is useless to the next reader
+    for filename in CORPUS_FILES:
+        case = load_corpus_file(os.path.join(CORPUS_DIR, filename))
+        assert len(case.note) > 20, f"{filename} lacks a real note"
+        assert case.source, f"{filename} lacks a source"

@@ -115,3 +115,25 @@ class TestMisc:
         a = Instance((1,), (0,), 2, 1)
         b = Instance((1,), (0,), 2**40, 1)
         assert encoding_length(b) - encoding_length(a) < 50
+
+
+class TestFeasibility:
+    def test_is_feasible_boundary(self):
+        assert Instance((1, 1), (0, 1), 1, 2).is_feasible()      # C == c*m
+        assert not Instance((1, 1, 1), (0, 1, 2), 1, 2).is_feasible()
+
+    def test_slot_budget_uses_normalized_slots(self):
+        # c=10 clamps to min(c, C, n)=2, but the budget stays feasible
+        inst = Instance((1, 1), (0, 1), 3, 10)
+        assert inst.slot_budget() == 6
+        assert inst.is_feasible()
+
+    def test_require_feasible_raises_uniform_error(self):
+        from repro.core.errors import InfeasibleInstanceError
+        inst = Instance((1, 1, 1, 1), (0, 1, 2, 3), 1, 2)
+        with pytest.raises(InfeasibleInstanceError) as err:
+            inst.require_feasible()
+        assert err.value.num_classes == 4
+        assert err.value.slot_budget == 2
+        assert "C=4" in str(err.value) and "c*m=2" in str(err.value)
+        Instance((1, 1), (0, 1), 2, 1).require_feasible()   # no raise

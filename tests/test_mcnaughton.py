@@ -7,7 +7,7 @@ import pytest
 
 from repro import Instance
 from repro.baselines import mcnaughton_makespan, mcnaughton_schedule
-from repro.core.errors import InvalidInstanceError
+from repro.core.errors import UnsupportedInstanceError
 from repro.core.validation import validate_preemptive
 from repro.workloads import uniform_instance
 
@@ -32,7 +32,7 @@ class TestMcNaughton:
 
     def test_refuses_constrained_instances(self):
         inst = Instance((3, 3, 3), (0, 1, 2), 2, 1)
-        with pytest.raises(InvalidInstanceError):
+        with pytest.raises(UnsupportedInstanceError):
             mcnaughton_schedule(inst)
 
     def test_class_oblivious_mode(self):

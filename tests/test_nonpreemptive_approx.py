@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Instance, InvalidInstanceError, validate
+from repro import Instance, InfeasibleInstanceError, validate
 from repro.approx.nonpreemptive import solve_nonpreemptive
 from repro.exact import opt_nonpreemptive, opt_nonpreemptive_bruteforce
 from repro.workloads import (tight_slots_instance, uniform_instance,
@@ -69,7 +69,7 @@ class TestStructure:
 
     def test_infeasible_raises(self):
         inst = Instance((1, 1, 1), (0, 1, 2), 1, 2)
-        with pytest.raises(InvalidInstanceError):
+        with pytest.raises(InfeasibleInstanceError):
             solve_nonpreemptive(inst)
 
     def test_deterministic(self):

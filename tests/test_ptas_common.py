@@ -25,7 +25,14 @@ class TestDelta:
         with pytest.raises(ValueError):
             delta_for_epsilon(0)
         with pytest.raises(ValueError):
-            delta_for_epsilon(1.5)
+            delta_for_epsilon(-1)
+
+    def test_coarse_epsilon_floors_at_q2(self):
+        # the coarse regime: eps > 1 is legal (this is where the registry
+        # default epsilon lives) and never drops below the minimal grid
+        assert delta_for_epsilon(1.5) == Fraction(1, 5)
+        assert delta_for_epsilon(Fraction(7, 2)) == Fraction(1, 2)
+        assert delta_for_epsilon(100) == Fraction(1, 2)
 
 
 class TestIntegralSearch:

@@ -5,8 +5,10 @@ from fractions import Fraction
 import pytest
 
 from repro import Instance
-from repro.registry import (RawSolve, SolverSpec, UnknownSolverError,
-                            get_solver, list_solvers, register, solver_names)
+from repro.registry import (NoMatchingSolverError, RawSolve, SolverSpec,
+                            UnknownSolverError, find_solvers, get_solver,
+                            list_solvers, register, select_solver,
+                            solver_names)
 
 #: Every name the registry must resolve (the CLI/engine contract).
 EXPECTED_NAMES = [
@@ -114,3 +116,96 @@ class TestSolving:
                          summary="", run=lambda inst: None)
         with pytest.raises(ValueError, match="unknown variant"):
             register(bad)
+
+
+class TestCapabilities:
+    """The supports() predicate + PTAS default epsilon (ISSUE 5)."""
+
+    def test_ptas_default_epsilon_is_registry_visible(self):
+        for name in ("ptas-splittable", "ptas-preemptive",
+                     "ptas-nonpreemptive"):
+            assert get_solver(name).default_epsilon == Fraction(7, 2)
+        assert get_solver("splittable").default_epsilon is None
+
+    def test_default_epsilon_applied_only_when_unconstrained(self):
+        seen = {}
+
+        def run(inst, **kwargs):
+            seen.update(kwargs)
+            return RawSolve(None, 1, makespan=1)
+
+        spec = SolverSpec(name="eps-probe", variant="splittable",
+                          kind="ptas", ratio=None, ratio_label="1+eps",
+                          theorem="", summary="", run=run,
+                          accepts=("epsilon", "delta"),
+                          default_epsilon=Fraction(7, 2))
+        inst = Instance((1,), (0,), 1, 1)
+        spec.solve(inst)
+        assert seen == {"epsilon": Fraction(7, 2)}
+        seen.clear()
+        spec.solve(inst, delta=3)       # an explicit delta wins
+        assert seen == {"delta": 3}
+        seen.clear()
+        spec.solve(inst, epsilon=0.5)   # an explicit epsilon wins
+        assert seen == {"epsilon": 0.5}
+
+    def test_ptas_runs_bare(self, tiny_instance):
+        raw = get_solver("ptas-splittable").solve(tiny_instance)
+        assert raw.extra["epsilon"] == "7/2"
+
+    def test_supports_predicates(self):
+        constrained = Instance((3, 3, 3), (0, 1, 2), 2, 2)   # C=3 > c=2
+        free = Instance((3, 3), (0, 1), 2, 2)                # c >= C
+        assert not get_solver("mcnaughton").supports(constrained)
+        assert get_solver("mcnaughton").supports(free)
+        assert get_solver("splittable").supports(constrained)
+        huge = Instance((1,), (0,), 10**6, 1)
+        # the clamp m -> n is sound for the self-parallelism-free
+        # regimes, never for splittable (the fuzzer-found bug)
+        assert get_solver("milp-nonpreemptive").supports(huge)
+        assert get_solver("milp-preemptive").supports(huge)
+        assert not get_solver("milp-splittable").supports(huge)
+
+    def test_find_solvers_filters_by_instance(self):
+        constrained = Instance((3, 3, 3), (0, 1, 2), 2, 2)
+        names = [s.name for s in find_solvers(variant="preemptive",
+                                              instance=constrained)]
+        assert "mcnaughton" not in names
+        assert "preemptive" in names
+        with pytest.raises(NoMatchingSolverError):
+            select_solver(variant="preemptive", kind="baseline",
+                          instance=constrained)
+
+    def test_milp_machine_cap_mirrors_exact_module(self):
+        # registry duplicates the caps so supports() stays SciPy-free;
+        # drift between the mirrors would silently skew selection
+        from repro.exact.milp import _MAX_MACHINES
+        from repro.registry import _MILP_MACHINE_CAP, _PTAS_MACHINE_CAPS
+        assert _MILP_MACHINE_CAP == _MAX_MACHINES
+        for module, cap in _PTAS_MACHINE_CAPS.items():
+            import importlib
+            mod = importlib.import_module(f"repro.ptas.{module}")
+            assert cap == mod.DEFAULT_MACHINE_CAP, module
+
+    def test_instance_aware_selection_never_imports_scipy(self):
+        # capability selection probes supports() on MILP candidates; on
+        # a base install (no `exact` extra) that must not pull SciPy in
+        import os
+        import subprocess
+        import sys
+
+        import repro
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        code = (
+            "import sys\n"
+            "sys.modules['scipy'] = None\n"     # any scipy import fails
+            "from repro import Instance\n"
+            "from repro.registry import select_solver\n"
+            "inst = Instance((3, 3), (0, 1), 2, 2)\n"
+            "spec = select_solver(variant='nonpreemptive', instance=inst)\n"
+            "assert spec.name == 'brute-force', spec.name\n"  # exact wins
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr

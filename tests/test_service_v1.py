@@ -115,6 +115,20 @@ class TestErrorEnvelope:
         assert err.value.code == "unknown_solver"
         assert "splittable" in err.value.detail["suggestions"]
 
+    def test_infeasible_instance_rejected_at_submission(self, client):
+        # C=3 > c*m=2: no solver could schedule it — the stable
+        # 'infeasible' envelope code, uniform across /v1/jobs and
+        # /v1/solve, instead of queueing work every solver refuses
+        bad = Instance((1, 1, 1), (0, 1, 2), 1, 2)
+        with pytest.raises(ServiceError) as err:
+            client.submit(bad, ["splittable"])
+        assert err.value.status == 400
+        assert err.value.code == "infeasible"
+        assert err.value.detail == {"num_classes": 3, "slot_budget": 2}
+        with pytest.raises(ServiceError) as err:
+            client.solve(SolveRequest(bad, algorithm="splittable"))
+        assert err.value.code == "infeasible"
+
 
 # --------------------------------------------------------------------- #
 # pagination

@@ -5,7 +5,7 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro import Instance, InvalidInstanceError, validate
+from repro import Instance, InfeasibleInstanceError, validate
 from repro.approx.compact import CompactSplittableSchedule
 from repro.approx.splittable import solve_splittable
 from repro.core.schedule import SplittableSchedule
@@ -66,7 +66,7 @@ class TestStructure:
 
     def test_infeasible_raises(self):
         inst = Instance((1, 1, 1), (0, 1, 2), 1, 2)
-        with pytest.raises(InvalidInstanceError):
+        with pytest.raises(InfeasibleInstanceError):
             solve_splittable(inst)
 
     def test_pieces_polynomial_in_n(self):
