@@ -18,15 +18,47 @@ area bound dominates them.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from fractions import Fraction
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.fastmath import INT64_SAFE, fast_paths_enabled
+from ..core.native import NATIVE
 
 __all__ = ["split_count", "candidate_borders", "smallest_feasible_border",
-           "advanced_binary_search"]
+           "advanced_binary_search", "border_hints"]
+
+#: Precomputed border results installed by the batch engine. The
+#: multi-cell kernel (:mod:`repro.core.batchkernels`) solves a whole
+#: chunk's border searches in one vectorised pass, then replays each cell
+#: through the ordinary solver; the hint hands that precomputed answer
+#: back to :func:`smallest_feasible_border` when the *exact* arguments
+#: match. Thread-local so concurrent batch chunks cannot see each
+#: other's hints.
+_hints = threading.local()
+
+
+@contextmanager
+def border_hints(hints: Mapping[tuple[tuple[int, ...], int, int],
+                                Fraction | None]):
+    """Install precomputed ``smallest_feasible_border`` results.
+
+    ``hints`` maps ``(tuple(class_loads), m, budget)`` to the border the
+    search would return (or ``None`` for "no feasible border"). Only the
+    fast path consumes hints — the pure-``Fraction`` reference always
+    recomputes, preserving the golden-equivalence contract. The values
+    installed must be exact: the batch kernels are bit-identical to the
+    scalar search, so this is a cache, not an approximation.
+    """
+    prev = getattr(_hints, "value", None)
+    _hints.value = dict(hints)
+    try:
+        yield
+    finally:
+        _hints.value = prev
 
 
 def _split_count_scaled(class_loads: Sequence[int], num: int,
@@ -59,6 +91,9 @@ def split_count(class_loads: Sequence[int], T: Fraction) -> int:
         # of an infeasibly small guess can dwarf any one ceil term
         if 0 < num < INT64_SAFE and \
                 len(class_loads) * (max_load * den + 1) < INT64_SAFE:
+            if NATIVE is not None and 0 < den:
+                return NATIVE.split_count_scaled(list(class_loads), num,
+                                                 den)
             return _split_count_vec(
                 np.asarray(class_loads, dtype=np.int64), num, den)
     return _split_count_scaled(class_loads, num, den)
@@ -102,6 +137,11 @@ def smallest_feasible_border(class_loads: Sequence[int], m: int,
     alone exceeds the budget (``C > c*m``): no schedule exists at all.
     """
     if fast_paths_enabled():
+        hints = getattr(_hints, "value", None)
+        if hints is not None:
+            key = (tuple(class_loads), m, budget)
+            if key in hints:
+                return hints[key]
         return _smallest_feasible_border_fast(class_loads, m, budget)
     return _smallest_feasible_border_reference(class_loads, m, budget)
 
@@ -149,9 +189,12 @@ def _smallest_feasible_border_fast(class_loads: Sequence[int], m: int,
         if nc >= 8 and max_load < INT64_SAFE else None
 
     def count(num: int, den: int) -> int:
-        if arr is not None and num < INT64_SAFE \
+        if 0 < num < INT64_SAFE \
                 and nc * (max_load * den + 1) < INT64_SAFE:
-            return _split_count_vec(arr, num, den)
+            if NATIVE is not None:
+                return NATIVE.split_count_scaled(loads, num, den)
+            if arr is not None:
+                return _split_count_vec(arr, num, den)
         return _split_count_scaled(loads, num, den)
 
     best_num: int | None = None

@@ -31,6 +31,8 @@ from fractions import Fraction
 from math import gcd
 from typing import Iterable, Iterator
 
+from .native import NATIVE
+
 __all__ = ["fast_paths_enabled", "set_fast_paths", "use_fast_paths",
            "sum_fractions", "max_fraction", "INT64_SAFE"]
 
@@ -85,7 +87,21 @@ def sum_fractions(values: Iterable[Fraction | int]) -> Fraction:
     Both ``int`` and ``Fraction`` expose ``numerator``/``denominator``,
     so the loop needs no type dispatch.  Exactly equal to ``sum(values,
     Fraction(0))``: rational addition is associative.
+
+    With the optional compiled core built (see
+    :mod:`repro.core.native`) the accumulation runs in C on int64 and
+    falls back to this big-int loop the moment anything does not fit —
+    the result is exact either way.
     """
+    if NATIVE is not None and _enabled:
+        values = values if isinstance(values, (list, tuple)) \
+            else list(values)
+        try:
+            n, d = NATIVE.sum_fractions_ll(values)
+        except OverflowError:
+            pass
+        else:
+            return Fraction(n, d)
     total_n, total_d = 0, 1
     for v in values:
         d = v.denominator

@@ -11,11 +11,13 @@ workers.
 Properties:
 
 * **Lazy** — nothing is spawned until the first parallel batch asks.
-* **Grow-only sizing** — the pool is replaced when a caller asks for more
-  workers than the current pool offers; asking for fewer just reuses the
-  bigger pool (idle workers cost almost nothing, respawning costs a lot).
-  Callers enforce their own ``workers`` cap by bounding how many tasks
-  they keep in flight — the pool's width is a ceiling, not a promise.
+* **Grow-by-default sizing** — the pool is replaced when a caller asks
+  for more workers than the current pool offers; asking for fewer just
+  reuses the bigger pool (idle workers cost almost nothing, respawning
+  costs a lot), unless the caller passes ``shrink=True`` to release an
+  explicitly unwanted width. Callers enforce their own ``workers`` cap
+  by bounding how many tasks they keep in flight — the pool's width is
+  a ceiling, not a promise.
 * **Swap-safe submission** — :func:`submit_task` resolves the live pool
   and submits *under the pool lock*, so a concurrent grow/replace can
   never invalidate a handle between resolution and submission.  A
@@ -37,11 +39,12 @@ import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 
 __all__ = ["get_pool", "submit_task", "pool_id", "pool_max_workers",
-           "shutdown_pool"]
+           "shutdown_pool", "batch_begin", "batch_end", "active_batches"]
 
 _lock = threading.Lock()
 _pool: ProcessPoolExecutor | None = None
 _pool_workers: int = 0
+_active_batches: int = 0
 
 
 def _broken(pool: ProcessPoolExecutor) -> bool:
@@ -50,14 +53,16 @@ def _broken(pool: ProcessPoolExecutor) -> bool:
     return bool(getattr(pool, "_broken", False))
 
 
-def _ensure(workers: int) -> ProcessPoolExecutor:
-    """The live pool, (re)created/grown as needed. Caller holds ``_lock``."""
+def _ensure(workers: int, shrink: bool = False) -> ProcessPoolExecutor:
+    """The live pool, (re)created/resized as needed. Caller holds
+    ``_lock``. Width only ever grows unless ``shrink`` is set."""
     global _pool, _pool_workers
     if _pool is not None and _broken(_pool):
         _pool.shutdown(wait=False, cancel_futures=True)
         _pool = None
-    elif _pool is not None and _pool_workers < workers:
-        # growing: retire the old pool *gracefully* — other threads may
+    elif _pool is not None and (_pool_workers < workers
+                                or (shrink and _pool_workers > workers)):
+        # resizing: retire the old pool *gracefully* — other threads may
         # hold futures on it, so already-submitted work must drain
         # (shutdown without cancel_futures finishes queued items in the
         # background and the old pool reaps itself)
@@ -69,18 +74,25 @@ def _ensure(workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
-def get_pool(workers: int) -> ProcessPoolExecutor:
-    """The shared executor, created/grown on demand.
+def get_pool(workers: int, *, shrink: bool = False) -> ProcessPoolExecutor:
+    """The shared executor, created/resized on demand.
 
     ``workers`` is the width the caller wants *available*; the returned
-    pool has ``max_workers >= workers``. Prefer :func:`submit_task` for
-    submission — a handle returned here can be retired by a concurrent
-    caller's grow, after which its ``submit`` raises ``RuntimeError``.
+    pool has ``max_workers >= workers``. By default a smaller ask reuses
+    a wider pool (idle workers cost almost nothing, respawning costs a
+    lot); ``shrink=True`` instead rebuilds the pool at exactly
+    ``workers`` when it is currently wider — ``run_batch`` uses it on an
+    *explicit* ``workers=`` downsize, so a one-off wide batch cannot pin
+    the pool's width (and its resident worker processes) forever. The
+    retiring pool drains gracefully either way. Prefer
+    :func:`submit_task` for submission — a handle returned here can be
+    retired by a concurrent caller's resize, after which its ``submit``
+    raises ``RuntimeError``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     with _lock:
-        return _ensure(workers)
+        return _ensure(workers, shrink)
 
 
 def submit_task(workers: int, fn, /, *args, **kwargs) -> Future:
@@ -94,6 +106,34 @@ def submit_task(workers: int, fn, /, *args, **kwargs) -> Future:
         raise ValueError(f"workers must be >= 1, got {workers}")
     with _lock:
         return _ensure(workers).submit(fn, *args, **kwargs)
+
+
+def batch_begin() -> None:
+    """Mark a pooled batch as in flight (see :func:`active_batches`)."""
+    global _active_batches
+    with _lock:
+        _active_batches += 1
+
+
+def batch_end() -> None:
+    """Mark one pooled batch as finished."""
+    global _active_batches
+    with _lock:
+        _active_batches -= 1
+
+
+def active_batches() -> int:
+    """Number of pooled batches currently in flight.
+
+    Replacing the executor forks new workers; doing that while a sibling
+    batch's threads are mid-submission is the classic fork-with-held-locks
+    hazard (the child can inherit a locked queue lock and deadlock).
+    ``run_batch`` therefore shrinks the pool only when it is the *sole*
+    active batch — growth for correctness still happens regardless, as a
+    too-narrow pool could not run the batch at all.
+    """
+    with _lock:
+        return _active_batches
 
 
 def pool_id() -> int | None:
@@ -126,6 +166,11 @@ def shutdown_pool(wait: bool = True, *, cancel_futures: bool = False) -> None:
         pool, _pool, _pool_workers = _pool, None, 0
     if pool is not None:
         pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+    if cancel_futures:
+        # abandoned work never reads its shared-memory segments; sweep
+        # them so a cancelled shutdown cannot leak /dev/shm entries
+        from . import shm
+        shm.release_all()
 
 
 atexit.register(shutdown_pool, wait=False, cancel_futures=True)

@@ -46,8 +46,10 @@ from ..core.fastmath import fast_paths_enabled
 from ..core.instance import Instance
 from ..core.validation import validate
 from ..registry import get_solver
+from . import shm
 from .cache import ReportCache, cache_key, is_cacheable, relabel_hit
-from .pool import submit_task
+from .pool import (active_batches, batch_begin, batch_end, get_pool,
+                   pool_max_workers, submit_task)
 from .report import SolveReport
 
 __all__ = ["run_batch", "execute", "execute_in_worker", "DEFAULT_WORKERS"]
@@ -141,6 +143,53 @@ def _ratio(makespan, guess) -> float | None:
         return None
 
 
+def _base_fields(spec, inst: Instance, label: str) -> dict:
+    """The identifying fields every report of one cell shares."""
+    return dict(algorithm=spec.name, instance_digest=inst.digest(),
+                instance_label=label, variant=spec.variant,
+                proven_ratio=spec.ratio_label)
+
+
+def _failure_report(exc: BaseException, base: dict, elapsed: float,
+                    timeout: float | None) -> SolveReport:
+    """Map a solve/validate exception to its report — the single failure
+    taxonomy :func:`execute` and the batch ``solve_many`` path share, so
+    a batched cell fails byte-identically to an inline one. Non-solver
+    ``BaseException``s (``KeyboardInterrupt``...) propagate."""
+    if isinstance(exc, _TimeoutExceeded):
+        return SolveReport(status="timeout", wall_time_s=elapsed,
+                           error=f"exceeded {timeout:g}s", **base)
+    if isinstance(exc, (UnsupportedInstanceError, CapacityExceededError)):
+        # the instance is fine; this solver just cannot take it — batch
+        # runs skip the cell instead of mislabeling the instance
+        return SolveReport(status="unsupported", wall_time_s=elapsed,
+                           error=str(exc), **base)
+    if isinstance(exc, (InfeasibleInstanceError, InfeasibleScheduleError,
+                        InvalidInstanceError)):
+        return SolveReport(status="infeasible", wall_time_s=elapsed,
+                           error=str(exc), **base)
+    if isinstance(exc, Exception):      # one cell, one report
+        return SolveReport(status="error", wall_time_s=elapsed,
+                           error=f"{type(exc).__name__}: {exc}", **base)
+    raise exc
+
+
+def _ok_report(raw, makespan, validated: bool, base: dict, elapsed: float,
+               keep_schedule: bool = False) -> SolveReport:
+    """Assemble the success report — shared with ``solve_many``."""
+    extra = dict(raw.extra)
+    if keep_schedule and raw.schedule is not None:
+        from ..io import schedule_to_dict
+        try:
+            extra["schedule"] = schedule_to_dict(raw.schedule)
+        except TypeError:
+            pass    # compact schedules have no portable JSON form
+    return SolveReport(status="ok", makespan=makespan, guess=raw.guess,
+                       certified_ratio=_ratio(makespan, raw.guess),
+                       wall_time_s=elapsed, validated=validated,
+                       extra=extra, **base)
+
+
 def execute(inst: Instance, algorithm: str,
             kwargs: Mapping[str, Any] | None = None, *,
             label: str = "", timeout: float | None = None,
@@ -154,9 +203,7 @@ def execute(inst: Instance, algorithm: str,
     """
     spec = get_solver(algorithm)        # unknown names fail loudly, pre-run
     kwargs = dict(kwargs or {})
-    base = dict(algorithm=spec.name, instance_digest=inst.digest(),
-                instance_label=label, variant=spec.variant,
-                proven_ratio=spec.ratio_label)
+    base = _base_fields(spec, inst, label)
     t0 = time.perf_counter()
 
     def elapsed() -> float:
@@ -171,32 +218,10 @@ def execute(inst: Instance, algorithm: str,
     try:
         raw, makespan, validated = _call_with_timeout(_solve_and_validate,
                                                       timeout)
-    except _TimeoutExceeded:
-        return SolveReport(status="timeout", wall_time_s=elapsed(),
-                           error=f"exceeded {timeout:g}s", **base)
-    except (UnsupportedInstanceError, CapacityExceededError) as exc:
-        # the instance is fine; this solver just cannot take it — batch
-        # runs skip the cell instead of mislabeling the instance
-        return SolveReport(status="unsupported", wall_time_s=elapsed(),
-                           error=str(exc), **base)
-    except (InfeasibleInstanceError, InfeasibleScheduleError,
-            InvalidInstanceError) as exc:
-        return SolveReport(status="infeasible", wall_time_s=elapsed(),
-                           error=str(exc), **base)
-    except Exception as exc:            # noqa: BLE001 — one cell, one report
-        return SolveReport(status="error", wall_time_s=elapsed(),
-                           error=f"{type(exc).__name__}: {exc}", **base)
-    extra = dict(raw.extra)
-    if keep_schedule and raw.schedule is not None:
-        from ..io import schedule_to_dict
-        try:
-            extra["schedule"] = schedule_to_dict(raw.schedule)
-        except TypeError:
-            pass    # compact schedules have no portable JSON form
-    return SolveReport(status="ok", makespan=makespan, guess=raw.guess,
-                       certified_ratio=_ratio(makespan, raw.guess),
-                       wall_time_s=elapsed(), validated=validated,
-                       extra=extra, **base)
+    except BaseException as exc:        # noqa: BLE001 — mapped to a report
+        return _failure_report(exc, base, elapsed(), timeout)
+    return _ok_report(raw, makespan, validated, base, elapsed(),
+                      keep_schedule)
 
 
 def _execute_task(task: tuple) -> SolveReport:
@@ -228,6 +253,30 @@ def _execute_chunk(groups: list[tuple[Instance, list[tuple]]],
     return out
 
 
+def _execute_chunk_shm(seg_name: str, index: dict, cells: list[tuple],
+                       timeout: float | None,
+                       fast_paths: bool = True
+                       ) -> list[tuple[int, SolveReport]]:
+    """Run one same-algorithm chunk addressed through shared memory.
+
+    ``cells`` is a list of ``(i, label, digest, name, kwargs)``; the
+    instances themselves never cross the process boundary — the worker
+    reads them from the published segment (or its digest-keyed decode
+    cache, which makes repeated warm batches ship nothing) and solves
+    the whole chunk through :func:`~repro.engine.multicell.solve_many`.
+    """
+    from ..core.fastmath import use_fast_paths
+    from . import shm
+    from .multicell import solve_many
+    ref = shm.SegmentRef(seg_name, index)
+    insts = shm.fetch_many(ref, {c[2] for c in cells})
+    with use_fast_paths(fast_paths):
+        reps = solve_many([(label, insts[digest], name, kwargs)
+                           for _, label, digest, name, kwargs in cells],
+                          timeout=timeout)
+    return [(c[0], rep) for c, rep in zip(cells, reps)]
+
+
 def execute_in_worker(inst: Instance, name: str, kwargs: Mapping[str, Any],
                       *, label: str = "", timeout: float | None = None,
                       fast_paths: bool = True) -> SolveReport:
@@ -237,6 +286,36 @@ def execute_in_worker(inst: Instance, name: str, kwargs: Mapping[str, Any],
     from ..core.fastmath import use_fast_paths
     with use_fast_paths(fast_paths):
         return execute(inst, name, kwargs, label=label, timeout=timeout)
+
+
+def _usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    Chunking consults this because chunks beyond the hardware's real
+    parallelism cannot overlap — they only add IPC round trips. Tests
+    monkeypatch it to exercise both regimes deterministically.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:      # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _packed_chunks(groups: list[list[int]], target: int) -> list[list[int]]:
+    """Merge per-group cell lists into exactly ``target`` chunks, largest
+    group first into the currently lightest chunk (deterministic LPT).
+
+    Used only when the machine cannot run the fine-grained chunks in
+    parallel anyway (``_usable_cores() < workers``): on a core-starved
+    box every extra chunk is a pure IPC round trip, so the engine ships
+    as few chunks as the hardware can overlap."""
+    bins: list[list[int]] = [[] for _ in range(target)]
+    sizes = [0] * target
+    for g in sorted(groups, key=len, reverse=True):
+        pos = sizes.index(min(sizes))
+        bins[pos].extend(g)
+        sizes[pos] += len(g)
+    return [b for b in bins if b]
 
 
 def _balanced_chunks(groups: list[list[int]], target: int) -> list[list[int]]:
@@ -314,18 +393,26 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
     """
     insts = _normalize_instances(instances)
     algos = _normalize_algorithms(algorithms)
+    explicit_workers = workers is not None
     if workers is None:
         workers = DEFAULT_WORKERS
 
     tasks: list[tuple] = []
-    keys: list[str] = []
+    keys: list[Any] = []
     reports: list[SolveReport | None] = []
-    first_index: dict[str, int] = {}    # intra-batch dedup: key -> cell
+    first_index: dict[Any, int] = {}    # intra-batch dedup: key -> cell
     dup_of: dict[int, int] = {}
     for label, inst in insts:
         for name, kwargs in algos:
             i = len(tasks)
-            key = cache_key(inst, name, kwargs)
+            if cache is not None:
+                key = cache_key(inst, name, kwargs)
+            else:
+                # no cache to address: intra-batch dedup only needs a
+                # cheap equality key, not the sha256/json cache key
+                key = (inst.digest(), name,
+                       tuple(sorted((k, repr(v))
+                                    for k, v in kwargs.items())))
             hit = cache.get(key) if cache is not None else None
             # hits are relabelled per cell: the cache keys on content,
             # but the report belongs to this batch's row
@@ -342,45 +429,93 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
     pending = [i for i, r in enumerate(reports)
                if r is None and i not in dup_of]
     if workers > 1 and len(pending) > 1:
-        # group by instance content so each instance pickles once per
-        # chunk. Submissions are *windowed* to ``workers`` in-flight
-        # chunks: the caller's fan-out stays a hard concurrency cap even
-        # when the shared pool is wider, while the pool's dynamic
-        # scheduling keeps heterogeneous batches balanced. The worker
-        # ask is capped by the post-dedupe chunk count, so a batch full
-        # of repeats cannot over-provision pool processes (under fork
-        # the pool pre-spawns its full width on first use).
-        groups: dict[str, list[int]] = {}
+        # Transport: the batch's distinct instances live in one
+        # shared-memory segment so chunks ship only (digest, offset)
+        # references — instances stop being pickled per chunk. acquire()
+        # reuses a live segment when a recent batch already published
+        # the same instance set (the warm path publishes nothing at
+        # all). When shm is unavailable (platform, big-int m, /dev/shm
+        # full) the batch falls back to the pickle transport below.
+        distinct: dict[str, Instance] = {}
         for i in pending:
-            groups.setdefault(tasks[i][1].digest(), []).append(i)
-        chunks = _balanced_chunks(list(groups.values()),
-                                  min(workers, len(pending)))
-        width = min(workers, len(chunks))
-        fast = fast_paths_enabled()
-        queue = iter(chunks)
-        live: set = set()
+            distinct.setdefault(tasks[i][1].digest(), tasks[i][1])
+        seg = shm.acquire(distinct)
+        batch_begin()
+        try:
+            # Chunking. With the segment up, cells group by (algorithm,
+            # kwargs): each chunk is one multi-cell dispatch through
+            # solve_many's stacked kernels, and the instances it reads
+            # are already shared. The pickle fallback keeps the old
+            # by-instance grouping so each instance pickles once per
+            # chunk. Either way submissions are *windowed* to
+            # ``workers`` in-flight chunks: the caller's fan-out stays
+            # a hard concurrency cap even when the shared pool is
+            # wider. The worker ask is capped by the post-dedupe chunk
+            # count, so a batch full of repeats cannot over-provision
+            # pool processes (under fork the pool pre-spawns its full
+            # width on first use).
+            groups: dict[Any, list[int]] = {}
+            for i in pending:
+                gkey = (tasks[i][2], repr(sorted(tasks[i][3].items()))) \
+                    if seg is not None else tasks[i][1].digest()
+                groups.setdefault(gkey, []).append(i)
+            parallel = min(workers, _usable_cores())
+            if parallel < workers and len(groups) > parallel:
+                # the hardware cannot overlap more than ``parallel``
+                # chunks; merging down to that saves one full IPC round
+                # trip per merged-away chunk (solve_many regroups by
+                # algorithm inside the worker, so mixed chunks lose no
+                # kernel batching)
+                chunks = _packed_chunks(list(groups.values()), parallel)
+            else:
+                chunks = _balanced_chunks(list(groups.values()),
+                                          min(workers, len(pending)))
+            width = min(workers, len(chunks))
+            if explicit_workers and pool_max_workers() > workers \
+                    and active_batches() == 1:
+                # explicit downsize: a one-off wide batch must not pin
+                # pool width forever. Only when this is the sole batch in
+                # flight — replacing the executor forks, and forking
+                # while sibling batches are mid-submission risks the
+                # fork-with-held-locks deadlock (see pool.active_batches)
+                get_pool(width, shrink=True)
+            fast = fast_paths_enabled()
+            queue = iter(chunks)
+            live: set = set()
 
-        def submit_next() -> None:
-            chunk = next(queue, None)
-            if chunk is None:
-                return
-            by_digest: dict[str, tuple[Instance, list[tuple]]] = {}
-            for i in chunk:
-                inst = tasks[i][1]
-                group = by_digest.setdefault(inst.digest(), (inst, []))
-                group[1].append((i, tasks[i][0], tasks[i][2], tasks[i][3],
-                                 tasks[i][4]))
-            live.add(submit_task(width, _execute_chunk,
-                                 list(by_digest.values()), fast))
+            def submit_next() -> None:
+                chunk = next(queue, None)
+                if chunk is None:
+                    return
+                if seg is not None:
+                    cells = [(i, tasks[i][0], tasks[i][1].digest(),
+                              tasks[i][2], tasks[i][3]) for i in chunk]
+                    index = {d: seg.index[d]
+                             for d in {c[2] for c in cells}}
+                    live.add(submit_task(width, _execute_chunk_shm,
+                                         seg.name, index, cells, timeout,
+                                         fast))
+                    return
+                by_digest: dict[str, tuple[Instance, list[tuple]]] = {}
+                for i in chunk:
+                    inst = tasks[i][1]
+                    group = by_digest.setdefault(inst.digest(), (inst, []))
+                    group[1].append((i, tasks[i][0], tasks[i][2],
+                                     tasks[i][3], tasks[i][4]))
+                live.add(submit_task(width, _execute_chunk,
+                                     list(by_digest.values()), fast))
 
-        for _ in range(width):
-            submit_next()
-        while live:
-            done, live = wait(live, return_when=FIRST_COMPLETED)
-            for fut in done:
-                for i, rep in fut.result():
-                    reports[i] = rep
+            for _ in range(width):
                 submit_next()
+            while live:
+                done, live = wait(live, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    for i, rep in fut.result():
+                        reports[i] = rep
+                    submit_next()
+        finally:
+            batch_end()
+            shm.unpin(seg)
     else:
         for i in pending:
             reports[i] = _execute_task(tasks[i])

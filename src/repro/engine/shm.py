@@ -1,0 +1,387 @@
+"""Shared-memory instance transport for the batch engine.
+
+Before this module existed, every pooled ``run_batch`` chunk pickled its
+``Instance`` objects into the task payload — the same instance crossed
+the process boundary once per chunk, and a warm pool re-paid the
+serialisation on every batch.  The engine now publishes the batch's
+distinct instances *once* into a ``multiprocessing.shared_memory``
+segment using the same packed integer layout the ``ccs-instance-v2``
+digest hashes, and ships only ``(segment, offset, length)`` references
+with each chunk.  Workers attach, decode, and cache instances by digest,
+so a warm pool solving the same instances again ships essentially
+nothing.
+
+Three cooperating pieces:
+
+* **Packing** — :func:`pack_instances` / :func:`unpack_instance`: a
+  little-endian ``int64`` struct layout (magic, ``n``, ``m``, ``c``,
+  then the processing times and class indices).  Values outside int64 —
+  ``m`` may be exponential in ``n`` — make the instance unpackable;
+  :func:`pack_instances` then returns ``None`` and the engine falls back
+  to pickling, exactly like the digest's big-int fallback.
+* **Parent-side segment registry** — :func:`publish` /
+  :func:`release` / :func:`release_all` / :func:`active_segments`:
+  every created segment is tracked until it is explicitly unlinked, an
+  ``atexit`` hook reaps stragglers, and ``shutdown_pool`` sweeps the
+  registry when it cancels pending work.  On top of the registry sits a
+  bounded reuse cache (:func:`acquire` / :func:`unpin`): a batch whose
+  distinct-instance set matches a recently published segment gets that
+  segment back instead of packing and publishing again, so the warm
+  steady state performs *zero* shared-memory syscalls.  Segments are
+  pinned while a batch is in flight (never evicted under them) and the
+  cache holds at most :data:`_SEG_CACHE_MAX` unpinned entries — a
+  crashed worker or batch therefore cannot leak ``/dev/shm`` entries:
+  everything on disk is registry-tracked and reaped at interpreter
+  exit at the latest.
+* **Worker-side decode cache** — :func:`fetch_instance`: attach the
+  named segment, decode one instance, close the attachment immediately
+  (decoded instances own their storage, so nothing pins the segment),
+  and memoise by digest in a bounded LRU shared by every chunk the
+  worker ever runs.
+
+``shm_enabled()`` gates the whole transport: it is off automatically on
+platforms without POSIX shared memory and can be forced off with the
+``REPRO_DISABLE_SHM`` environment variable (or :func:`set_shm_enabled`,
+which the benches use to measure the pickle fallback honestly).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import struct
+import threading
+from collections import OrderedDict
+from typing import Iterable, Mapping
+
+from ..core.instance import Instance
+
+__all__ = ["pack_instances", "unpack_instance", "publish", "release",
+           "release_all", "active_segments", "fetch_instance",
+           "acquire", "unpin", "shm_enabled", "set_shm_enabled",
+           "SegmentRef", "SEGMENT_PREFIX"]
+
+try:  # pragma: no cover - import guard exercised on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: ``/dev/shm`` name prefix of every segment this registry creates, so
+#: tests (and operators) can audit leaks with a simple glob.
+SEGMENT_PREFIX = "repro-shm"
+
+_MAGIC = 0x43435332          # "CCS2" — packed-layout version marker
+_INT64_MIN, _INT64_MAX = -(2 ** 63), 2 ** 63 - 1
+
+_enabled: bool = (_shared_memory is not None
+                  and not os.environ.get("REPRO_DISABLE_SHM"))
+
+
+def shm_enabled() -> bool:
+    """Whether the shared-memory transport is active."""
+    return _enabled and _shared_memory is not None
+
+
+def set_shm_enabled(on: bool) -> bool:
+    """Force the transport on/off process-wide; returns the old value.
+
+    Turning it on has no effect where ``multiprocessing.shared_memory``
+    is unavailable — :func:`shm_enabled` stays ``False`` there.
+    """
+    global _enabled
+    old = _enabled
+    _enabled = bool(on)
+    if old and not _enabled:
+        release_all()       # a disabled transport holds no segments
+    return old
+
+
+# --------------------------------------------------------------------- #
+# packed layout (the ccs-instance-v2 integer encoding, addressable)
+# --------------------------------------------------------------------- #
+
+def _pack_one(inst: Instance) -> bytes | None:
+    """One instance as little-endian int64 words, or ``None`` when any
+    quantity exceeds int64 (huge ``m``)."""
+    n = inst.num_jobs
+    header = (_MAGIC, n, inst.machines, inst.class_slots)
+    try:
+        return struct.pack(f"<4q{n}q{n}q", *header, *inst.processing_times,
+                           *inst.classes)
+    except (struct.error, OverflowError):
+        return None
+
+
+def unpack_instance(buf: bytes | memoryview) -> Instance:
+    """Decode one :func:`_pack_one` record back into an :class:`Instance`."""
+    magic, n, m, c = struct.unpack_from("<4q", buf, 0)
+    if magic != _MAGIC:
+        raise ValueError(f"bad shm instance record (magic {magic:#x})")
+    body = struct.unpack_from(f"<{2 * n}q", buf, 32)
+    return Instance(processing_times=body[:n], classes=body[n:],
+                    machines=m, class_slots=c)
+
+
+def pack_instances(instances: Mapping[str, Instance]
+                   ) -> tuple[bytes, dict[str, tuple[int, int]]] | None:
+    """Pack ``digest -> Instance`` into one buffer plus an offset index.
+
+    Returns ``None`` when *any* instance does not fit the int64 layout —
+    the caller then falls back to pickle transport for the whole batch
+    (mixing transports per batch would buy nothing: the segment would
+    still be created and the fallback instances still pickled per chunk).
+    """
+    parts: list[bytes] = []
+    index: dict[str, tuple[int, int]] = {}
+    offset = 0
+    for digest, inst in instances.items():
+        blob = _pack_one(inst)
+        if blob is None:
+            return None
+        index[digest] = (offset, len(blob))
+        parts.append(blob)
+        offset += len(blob)
+    return b"".join(parts), index
+
+
+# --------------------------------------------------------------------- #
+# parent-side segment registry
+# --------------------------------------------------------------------- #
+
+class SegmentRef:
+    """A published segment: its name plus the digest -> (offset, length)
+    index workers use to address individual instances."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name: str, index: dict[str, tuple[int, int]]) -> None:
+        self.name = name
+        self.index = index
+
+
+_registry_lock = threading.Lock()
+_segments: dict[str, object] = {}      # name -> SharedMemory (creator)
+_counter = 0
+
+
+def publish(data: bytes,
+            index: dict[str, tuple[int, int]]) -> SegmentRef | None:
+    """Create a shared-memory segment holding ``data``; ``None`` when the
+    transport is disabled or segment creation fails (e.g. ``/dev/shm``
+    full) — callers fall back to pickle, never crash."""
+    global _counter
+    if not shm_enabled() or not data:
+        return None
+    with _registry_lock:
+        _counter += 1
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{_counter}"
+    try:
+        seg = _shared_memory.SharedMemory(name=name, create=True,
+                                          size=len(data))
+    except (OSError, ValueError):
+        return None
+    seg.buf[: len(data)] = data
+    with _registry_lock:
+        _segments[seg.name] = seg
+    return SegmentRef(seg.name, index)
+
+
+def release(ref: SegmentRef | str | None) -> None:
+    """Close and unlink one published segment (idempotent)."""
+    if ref is None:
+        return
+    name = ref if isinstance(ref, str) else ref.name
+    with _registry_lock:
+        seg = _segments.pop(name, None)
+        _pins.pop(name, None)
+        for key in [k for k, r in _seg_cache.items() if r.name == name]:
+            del _seg_cache[key]
+    if seg is not None:
+        try:
+            seg.close()
+            seg.unlink()
+        except OSError:  # pragma: no cover - already reaped by the OS
+            pass
+
+
+def release_all() -> None:
+    """Unlink every segment this process still owns (``atexit`` sweep and
+    the ``shutdown_pool(cancel_futures=True)`` integration)."""
+    with _registry_lock:
+        names = list(_segments)
+    for name in names:
+        release(name)
+
+
+def active_segments() -> list[str]:
+    """Names of the segments this process currently owns — the
+    introspection hook the leak tests assert through."""
+    with _registry_lock:
+        return sorted(_segments)
+
+
+atexit.register(release_all)
+
+
+# --------------------------------------------------------------------- #
+# warm-batch segment reuse
+# --------------------------------------------------------------------- #
+
+#: Recently published batch segments kept alive for reuse, keyed by the
+#: sorted digest tuple of their contents (digests are content hashes, so
+#: equal keys mean byte-equal payloads). Bounded: a service cycling many
+#: distinct workloads must not accumulate ``/dev/shm`` entries.
+_SEG_CACHE_MAX = 8
+_seg_cache: "OrderedDict[tuple, SegmentRef]" = OrderedDict()
+_pins: dict[str, int] = {}             # segment name -> in-flight batches
+
+
+def acquire(instances: Mapping[str, Instance]) -> SegmentRef | None:
+    """A live segment holding exactly ``instances`` (digest -> Instance).
+
+    Warm batches re-solving the same instances get the segment published
+    by an earlier batch back — zero pack/publish/unlink syscalls on the
+    steady-state path. Misses pack and publish, then enter the bounded
+    reuse cache; the least recently used *unpinned* segment is unlinked
+    to make room. Callers must :func:`unpin` the returned ref when their
+    batch completes (a pinned segment is never evicted, so a slow batch
+    cannot have its instances unlinked mid-flight by a faster sibling).
+
+    Returns ``None`` when the transport is off or the payload does not
+    fit the packed layout — callers fall back to pickle transport.
+    """
+    if not shm_enabled():
+        return None
+    key = tuple(sorted(instances))
+    with _registry_lock:
+        ref = _seg_cache.get(key)
+        if ref is not None:
+            _seg_cache.move_to_end(key)
+            _pins[ref.name] = _pins.get(ref.name, 0) + 1
+            return ref
+    packed = pack_instances(instances)
+    if packed is None:
+        return None
+    ref = publish(*packed)
+    if ref is None:
+        return None
+    evict: list[str] = []
+    with _registry_lock:
+        _seg_cache[key] = ref
+        _pins[ref.name] = _pins.get(ref.name, 0) + 1
+        for k in list(_seg_cache):
+            if len(_seg_cache) <= _SEG_CACHE_MAX:
+                break
+            name = _seg_cache[k].name
+            if not _pins.get(name):
+                del _seg_cache[k]
+                _pins.pop(name, None)
+                evict.append(name)
+    for name in evict:
+        release(name)
+    return ref
+
+
+def unpin(ref: SegmentRef | None) -> None:
+    """Drop one batch's pin on ``ref`` (no-op for ``None``). The segment
+    stays alive in the reuse cache; it is unlinked only on eviction,
+    :func:`release_all`, or interpreter exit."""
+    if ref is None:
+        return
+    with _registry_lock:
+        left = _pins.get(ref.name, 0) - 1
+        if left > 0:
+            _pins[ref.name] = left
+        else:
+            _pins.pop(ref.name, None)
+
+
+# --------------------------------------------------------------------- #
+# worker-side attach + decode cache
+# --------------------------------------------------------------------- #
+
+#: Decoded instances kept per worker process, keyed by digest. Bounded:
+#: a long-lived worker must not accumulate every instance it ever saw.
+_DECODE_CACHE_MAX = 256
+_decoded: OrderedDict[str, Instance] = OrderedDict()
+_decode_lock = threading.Lock()
+
+
+def _attach(name: str):
+    # Attach WITHOUT touching the resource tracker. Python < 3.13
+    # registers *attaching* processes with the tracker too, which is
+    # wrong for us twice over: (a) a worker's private tracker would
+    # unlink the parent's live segment when the worker exits, and (b)
+    # talking to the tracker takes its lock — a pool worker forked while
+    # another batch thread held that lock (publishing a segment) would
+    # deadlock on its very first attach. The parent owns every segment's
+    # lifecycle, so workers must stay invisible to tracking entirely.
+    # (Python >= 3.13 spells this ``SharedMemory(name, track=False)``.)
+    try:  # pragma: no cover - signature depends on python version
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
+def fetch_instance(ref: SegmentRef, digest: str) -> Instance:
+    """The instance for ``digest``: from the worker's decode cache, else
+    attached, decoded, cached and detached in one go."""
+    with _decode_lock:
+        inst = _decoded.get(digest)
+        if inst is not None:
+            _decoded.move_to_end(digest)
+            return inst
+    offset, length = ref.index[digest]
+    seg = _attach(ref.name)
+    try:
+        inst = unpack_instance(bytes(seg.buf[offset: offset + length]))
+    finally:
+        seg.close()
+    with _decode_lock:
+        _decoded[digest] = inst
+        _decoded.move_to_end(digest)
+        while len(_decoded) > _DECODE_CACHE_MAX:
+            _decoded.popitem(last=False)
+    return inst
+
+
+def fetch_many(ref: SegmentRef,
+               digests: Iterable[str]) -> dict[str, Instance]:
+    """Batch form of :func:`fetch_instance`: one attach for every cache
+    miss of the chunk instead of one per instance."""
+    out: dict[str, Instance] = {}
+    missing: list[str] = []
+    with _decode_lock:
+        for digest in digests:
+            inst = _decoded.get(digest)
+            if inst is not None:
+                _decoded.move_to_end(digest)
+                out[digest] = inst
+            else:
+                missing.append(digest)
+    if not missing:
+        return out
+    seg = _attach(ref.name)
+    try:
+        fresh = {}
+        for digest in missing:
+            offset, length = ref.index[digest]
+            fresh[digest] = unpack_instance(
+                bytes(seg.buf[offset: offset + length]))
+    finally:
+        seg.close()
+    with _decode_lock:
+        for digest, inst in fresh.items():
+            _decoded[digest] = inst
+            _decoded.move_to_end(digest)
+        while len(_decoded) > _DECODE_CACHE_MAX:
+            _decoded.popitem(last=False)
+    out.update(fresh)
+    return out

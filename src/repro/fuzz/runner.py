@@ -26,8 +26,9 @@ import numpy as np
 from ..api import Session
 from .generators import draw_case
 from .oracles import (DEFAULT_SOLVERS, ORACLES, PTAS_SOLVERS, Violation,
-                      _run_reports, differential_oracle, eligible_solvers,
-                      fastpath_oracle, metamorphic_oracle, reports_oracle)
+                      _run_reports, batch_oracle, differential_oracle,
+                      eligible_solvers, fastpath_oracle, metamorphic_oracle,
+                      reports_oracle)
 from .shrinker import shrink_instance
 
 __all__ = ["FuzzResult", "run_campaign"]
@@ -144,6 +145,7 @@ def run_campaign(seed: int = 0, count: int = 100, *,
         if inst.num_jobs <= _DOUBLE_RUN_MAX_JOBS:
             fast_specs = [s for s in specs if s.kind != "exact"]
             found += fastpath_oracle(inst, fast_specs, session, rng())
+            found += batch_oracle(inst, fast_specs, session, rng())
             found += metamorphic_oracle(inst, specs, session, rng(),
                                         reports=reports)
         found = [replace(v, seed=case_seed) for v in found]

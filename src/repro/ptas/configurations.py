@@ -12,14 +12,77 @@ All sizes are integers in the scaled units of the respective rounding
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..core.errors import CapacityExceededError
 
 __all__ = ["Multiset", "enumerate_bounded_multisets", "splittable_modules",
-           "ConfigurationSpace", "build_configuration_space"]
+           "ConfigurationSpace", "build_configuration_space",
+           "configuration_cache_stats"]
+
+
+class _WeightedMemo:
+    """An LRU memo bounded by total *weight*, not entry count.
+
+    ``lru_cache(maxsize=N)`` bounds how many results are kept, but a
+    single enumeration can hold hundreds of thousands of multisets — N
+    worst-case entries is effectively unbounded memory. This memo
+    charges each cached value its element count and evicts
+    least-recently-used entries once the sum exceeds ``max_weight``
+    (the newest entry always stays, even alone over budget: the caller
+    is using it right now). Thread-safe; exceptions propagate uncached;
+    hit/miss/eviction counters feed the bench extras.
+    """
+
+    def __init__(self, fn: Callable, max_weight: int,
+                 weight_of: Callable[[object], int]) -> None:
+        self._fn = fn
+        self._weight_of = weight_of
+        self._lock = threading.Lock()
+        self._data: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self.max_weight = max_weight
+        self.weight = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.__name__ = getattr(fn, "__name__", "memo")
+        self.__doc__ = fn.__doc__
+
+    def __call__(self, *key):
+        with self._lock:
+            hit = self._data.get(key)
+            if hit is not None:
+                self.hits += 1
+                self._data.move_to_end(key)
+                return hit[0]
+            self.misses += 1
+        value = self._fn(*key)          # compute outside the lock
+        weight = self._weight_of(value)
+        with self._lock:
+            if key not in self._data:
+                self._data[key] = (value, weight)
+                self.weight += weight
+                while self.weight > self.max_weight and len(self._data) > 1:
+                    _, (_, old) = self._data.popitem(last=False)
+                    self.weight -= old
+                    self.evictions += 1
+        return value
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.weight = 0
+            self.hits = self.misses = self.evictions = 0
+
+    def cache_stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "entries": len(self._data), "weight": self.weight,
+                    "max_weight": self.max_weight}
 
 #: A multiset as a sorted tuple of (value, count) pairs, value descending.
 Multiset = tuple[tuple[int, int], ...]
@@ -54,16 +117,24 @@ def enumerate_bounded_multisets(values: Sequence[int], max_items: int,
                                   key_counts, cap, include_empty))
 
 
-@lru_cache(maxsize=256)
-def _enumerate_cached(values: tuple[int, ...], max_items: int,
-                      max_total: int,
-                      max_count_per_value: tuple[int, ...] | None,
-                      cap: int, include_empty: bool) -> tuple[Multiset, ...]:
+def _enumerate_uncached(values: tuple[int, ...], max_items: int,
+                        max_total: int,
+                        max_count_per_value: tuple[int, ...] | None,
+                        cap: int, include_empty: bool
+                        ) -> tuple[Multiset, ...]:
     # failures (CapacityExceededError) propagate uncached, so a later call
     # with a higher cap is not poisoned
     return tuple(_enumerate_bounded_multisets(
         values, max_items, max_total, max_count_per_value, cap,
         include_empty))
+
+
+#: Total multisets kept across all cached enumerations — each is a
+#: handful of machine words, so this is a few hundred MB worst case.
+_ENUMERATE_WEIGHT_BUDGET = 2_000_000
+
+_enumerate_cached = _WeightedMemo(_enumerate_uncached,
+                                  _ENUMERATE_WEIGHT_BUDGET, len)
 
 
 def _enumerate_bounded_multisets(values: Sequence[int], max_items: int,
@@ -148,9 +219,8 @@ def build_configuration_space(module_sizes: Sequence[int], max_slots: int,
                                cap)
 
 
-@lru_cache(maxsize=64)
-def _build_space_cached(module_sizes: tuple[int, ...], max_slots: int,
-                        max_size: int, cap: int) -> ConfigurationSpace:
+def _build_space_uncached(module_sizes: tuple[int, ...], max_slots: int,
+                          max_size: int, cap: int) -> ConfigurationSpace:
     raw = enumerate_bounded_multisets(module_sizes, max_slots, max_size,
                                       cap=cap, include_empty=True)
     sizes = tuple(multiset_total(ms) for ms in raw)
@@ -160,3 +230,19 @@ def _build_space_cached(module_sizes: tuple[int, ...], max_slots: int,
         buckets.setdefault((h, b), []).append(k)
     return ConfigurationSpace(tuple(raw), sizes, slots,
                               {k: tuple(v) for k, v in buckets.items()})
+
+
+#: Total configurations kept across all cached spaces (each config also
+#: carries its size/slot/bucket entries, hence the smaller budget).
+_SPACE_WEIGHT_BUDGET = 500_000
+
+_build_space_cached = _WeightedMemo(
+    _build_space_uncached, _SPACE_WEIGHT_BUDGET,
+    lambda space: max(1, space.num_configs))
+
+
+def configuration_cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/weight counters of both memo layers — surfaced as
+    ``repro bench --suite kernel`` extras and by the cache tests."""
+    return {"enumerate": _enumerate_cached.cache_stats(),
+            "spaces": _build_space_cached.cache_stats()}

@@ -1,0 +1,261 @@
+"""Stacked multi-cell kernels vs their scalar counterparts, bit for bit."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.approx.borders import (border_hints, smallest_feasible_border,
+                                  split_count)
+from repro.core.batchkernels import (nonpreemptive_guess_many,
+                                     nonpreemptive_slots_ok_many,
+                                     smallest_feasible_border_many,
+                                     split_count_many)
+from repro.core.fastmath import INT64_SAFE, use_fast_paths
+from repro.core.validation import validate_nonpreemptive
+from repro.engine.multicell import solve_many
+from repro.engine.runner import execute
+from repro.workloads import uniform_instance
+
+
+def _rng_cells(count, seed=0):
+    rng = np.random.default_rng(seed)
+    cells = []
+    for _ in range(count):
+        nc = int(rng.integers(1, 12))
+        loads = [int(rng.integers(1, 500)) for _ in range(nc)]
+        m = int(rng.integers(1, 50))
+        c = int(rng.integers(1, 4))
+        cells.append((loads, m, c * m))
+    return cells
+
+
+def test_border_many_matches_scalar():
+    cells = _rng_cells(40)
+    many, scalar_idx = smallest_feasible_border_many(cells)
+    assert scalar_idx == []
+    for (loads, m, budget), got in zip(cells, many):
+        assert got == smallest_feasible_border(loads, m, budget)
+        with use_fast_paths(False):
+            assert got == smallest_feasible_border(loads, m, budget)
+
+
+def test_border_many_includes_infeasible_cells():
+    # more classes than slots: no border is feasible -> None, like scalar
+    cells = [([5, 5, 5, 5], 1, 2), ([7, 9], 3, 6)]
+    many, scalar_idx = smallest_feasible_border_many(cells)
+    assert scalar_idx == []
+    assert many[0] is None
+    assert many[0] == smallest_feasible_border([5, 5, 5, 5], 1, 2)
+    assert many[1] == smallest_feasible_border([7, 9], 3, 6)
+
+
+def test_border_many_guard_trips_report_fallback():
+    big = INT64_SAFE  # magnitudes the int64 kernel must refuse
+    cells = [([3, 5], 4, 8), ([big, 7], 4, 8), ([6], big, 4)]
+    many, scalar_idx = smallest_feasible_border_many(cells)
+    assert sorted(scalar_idx) == [1, 2]
+    assert many[0] == smallest_feasible_border([3, 5], 4, 8)
+
+
+def test_split_count_many_matches_scalar():
+    rng = np.random.default_rng(1)
+    cells = []
+    expected = []
+    for _ in range(30):
+        nc = int(rng.integers(1, 10))
+        loads = [int(rng.integers(1, 300)) for _ in range(nc)]
+        T = Fraction(int(rng.integers(1, 400)), int(rng.integers(1, 9)))
+        cells.append((loads, T.numerator, T.denominator))
+        expected.append(split_count(loads, T))
+    counts, scalar_idx = split_count_many(cells)
+    assert scalar_idx == []
+    assert counts == expected
+
+
+def test_split_count_many_guard():
+    counts, scalar_idx = split_count_many([([2, 3], 5, 2),
+                                           ([INT64_SAFE * 2], 5, 2)])
+    assert scalar_idx == [1]
+    assert counts[0] == split_count([2, 3], Fraction(5, 2))
+
+
+def test_nonpreemptive_slots_ok_many_matches_validator():
+    from repro.registry import get_solver
+    rng = np.random.default_rng(2)
+    cells = []
+    for k in range(30):
+        inst = uniform_instance(rng, n=int(rng.integers(4, 20)),
+                                C=int(rng.integers(2, 5)), m=3, c=2,
+                                p_hi=30)
+        rep = execute(inst, "nonpreemptive")
+        if not rep.ok:
+            continue
+        # rebuild the schedule through the solver to get raw assignments
+        raw = get_solver("nonpreemptive").solve(inst)
+        sched = raw.schedule
+        norm = inst.normalized()
+        if not (sched.num_machines == norm.machines
+                and sched.dense_machine_range()
+                and min(sched.assignment, default=-1) >= 0):
+            continue
+        cells.append((sched.assignment, norm.classes, norm.machines,
+                      norm.num_classes, norm.class_slots))
+        # sanity: the authoritative validator accepts it
+        validate_nonpreemptive(norm, sched)
+    assert cells, "generator produced no solvable instances"
+    ok = nonpreemptive_slots_ok_many(cells)
+    assert all(ok), "valid schedules must be provably clean"
+
+
+def test_nonpreemptive_slots_ok_many_flags_violations():
+    # good: each machine hosts exactly one class (1 <= c=1)
+    good = ((0, 1, 0, 1), (0, 1, 0, 1), 2, 2, 1)
+    # bad: 4 distinct classes crammed on machine 0 with c=2
+    bad = ((0, 0, 0, 0), (0, 1, 2, 3), 2, 4, 2)
+    # mixed: machine 0 hosts two classes with only one slot
+    mixed = ((0, 1, 0, 1), (0, 1, 1, 0), 2, 2, 1)
+    assert nonpreemptive_slots_ok_many([good, bad, mixed]) == \
+        [True, False, False]
+
+
+def test_nonpreemptive_guess_many_matches_scalar_search():
+    from repro.approx.nonpreemptive import solve_nonpreemptive
+    rng = np.random.default_rng(6)
+    norms = []
+    for k in range(40):
+        n = int(rng.integers(2, 36))
+        inst = uniform_instance(np.random.default_rng(100 + k), n=n,
+                                C=int(rng.integers(1, min(n, 8) + 1)),
+                                m=int(rng.integers(1, 6)),
+                                c=int(rng.integers(1, 4)),
+                                p_hi=int(rng.integers(2, 200)))
+        norm = inst.normalized()
+        if norm.is_feasible():
+            norms.append(norm)
+    assert len(norms) >= 20
+    inputs = [(i.processing_times, i.classes, i.machines, i.class_slots)
+              for i in norms]
+    guesses, scalar_idx = nonpreemptive_guess_many(inputs)
+    assert scalar_idx == []
+    for norm, got in zip(norms, guesses):
+        assert got == solve_nonpreemptive(norm).guess
+
+
+def test_nonpreemptive_guess_many_pairing_heavy_shapes():
+    # jobs in (T/3, T/2] and > T/2 exercise the scalar pairing escape
+    # hatch: k_u > 0 and l_u > 0 lanes where c2 can exceed ceil(P/T)
+    from repro.approx.nonpreemptive import solve_nonpreemptive
+    from repro.core.instance import Instance
+    rng = np.random.default_rng(7)
+    norms = []
+    for _ in range(30):
+        n = int(rng.integers(3, 14))
+        # tight magnitudes around one scale so 2p > T and 3p > T both occur
+        p = [int(rng.integers(40, 100)) for _ in range(n)]
+        C = int(rng.integers(1, 4))
+        cls = [int(rng.integers(0, C)) for _ in range(n)]
+        inst = Instance.create(p, cls, int(rng.integers(1, 4)),
+                               int(rng.integers(1, 4)))
+        norm = inst.normalized()
+        if norm.is_feasible():
+            norms.append(norm)
+    assert norms
+    inputs = [(i.processing_times, i.classes, i.machines, i.class_slots)
+              for i in norms]
+    guesses, scalar_idx = nonpreemptive_guess_many(inputs)
+    assert scalar_idx == []
+    for norm, got in zip(norms, guesses):
+        assert got == solve_nonpreemptive(norm).guess
+
+
+def test_nonpreemptive_guess_many_guard_trips_report_fallback():
+    ok = ((5, 7, 3), (0, 1, 0), 2, 2)
+    overflow = ((INT64_SAFE, 7), (0, 1), 2, 2)
+    huge_budget = ((5, 7), (0, 1), INT64_SAFE // 2, 4)
+    guesses, scalar_idx = nonpreemptive_guess_many(
+        [ok, overflow, huge_budget])
+    assert sorted(scalar_idx) == [1, 2]
+    assert guesses[1] is None and guesses[2] is None
+    from repro.approx.nonpreemptive import solve_nonpreemptive
+    from repro.core.instance import Instance
+    inst = Instance.create((5, 7, 3), (0, 1, 0), 2, 2).normalized()
+    assert guesses[0] == solve_nonpreemptive(inst).guess
+
+
+def test_guess_hints_consumed_only_on_exact_match():
+    from repro.approx.nonpreemptive import guess_hints, solve_nonpreemptive
+    rng = np.random.default_rng(8)
+    inst = uniform_instance(rng, n=16, C=4, m=3, c=2, p_hi=40)
+    norm = inst.normalized()
+    real = solve_nonpreemptive(inst)
+    with guess_hints({norm.digest(): real.guess}):
+        assert solve_nonpreemptive(inst).guess == real.guess
+        # a different instance misses the hint table -> own search
+        other = uniform_instance(rng, n=12, C=3, m=2, c=2, p_hi=40)
+        assert solve_nonpreemptive(other).guess == \
+            solve_nonpreemptive(other).guess
+        # the reference path never consumes hints
+        with use_fast_paths(False):
+            assert solve_nonpreemptive(inst).guess == real.guess
+    assert solve_nonpreemptive(inst).guess == real.guess
+
+
+def test_border_hints_consumed_only_on_exact_match():
+    loads, m, budget = [10, 20, 30], 4, 8
+    real = smallest_feasible_border(loads, m, budget)
+    fake = Fraction(12345, 7)
+    with border_hints({(tuple(loads), m, budget): fake}):
+        assert smallest_feasible_border(loads, m, budget) == fake
+        # different budget: miss -> recompute
+        assert smallest_feasible_border(loads, m, budget + 1) == \
+            smallest_feasible_border(loads, m, budget + 1)
+        # the reference path never consumes hints
+        with use_fast_paths(False):
+            assert smallest_feasible_border(loads, m, budget) == real
+    assert smallest_feasible_border(loads, m, budget) == real
+
+
+def _strip(rep):
+    d = rep.to_dict()
+    d.pop("wall_time_s", None)
+    return d
+
+
+def test_solve_many_byte_identical_to_execute():
+    rng = np.random.default_rng(3)
+    insts = [uniform_instance(rng, n=int(rng.integers(4, 28)),
+                              C=int(rng.integers(2, 6)), m=3, c=2, p_hi=40)
+             for _ in range(8)]
+    # include an infeasible cell (C > c*m) and a non-batched algorithm
+    infeasible = uniform_instance(rng, n=12, C=5, m=2, c=1, p_hi=10)
+    cells = [(f"c{k}", inst, name, {})
+             for k, inst in enumerate(insts + [infeasible])
+             for name in ("splittable", "nonpreemptive", "lpt")]
+    many = solve_many(cells)
+    per = [execute(inst, name, kw, label=lbl)
+           for lbl, inst, name, kw in cells]
+    assert [_strip(a) for a in many] == [_strip(b) for b in per]
+
+
+def test_solve_many_reference_path_matches():
+    rng = np.random.default_rng(4)
+    insts = [uniform_instance(rng, n=16, C=4, m=3, c=2, p_hi=30)
+             for _ in range(4)]
+    cells = [(f"c{k}", inst, "splittable", {})
+             for k, inst in enumerate(insts)]
+    with use_fast_paths(False):
+        ref = solve_many(cells)
+    fast = solve_many(cells)
+    assert [_strip(a) for a in ref] == [_strip(b) for b in fast]
+
+
+def test_solve_many_huge_m_guard_fallback():
+    rng = np.random.default_rng(5)
+    inst = uniform_instance(rng, n=12, C=4, m=3, c=2, p_hi=20)
+    huge = inst.with_machines(2 ** 70)      # border kernel guard trips
+    cells = [("a", huge, "splittable", {}), ("b", inst, "splittable", {})]
+    many = solve_many(cells)
+    per = [execute(i, n, k, label=lbl) for lbl, i, n, k in cells]
+    assert [_strip(a) for a in many] == [_strip(b) for b in per]

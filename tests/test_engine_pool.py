@@ -52,13 +52,24 @@ def test_shutdown_then_lazy_rebuild():
     assert all(r.status in ("ok", "infeasible") for r in reports)
 
 
-def test_pool_grows_but_never_shrinks():
+def test_pool_grows_but_does_not_shrink_by_default():
     a = get_pool(2)
     assert pool_max_workers() == 2
     assert get_pool(1) is a, "smaller ask reuses the bigger pool"
     b = get_pool(4)
     assert b is not a and pool_max_workers() == 4
     assert get_pool(3) is b
+
+
+def test_get_pool_shrinks_on_request():
+    a = get_pool(4)
+    assert pool_max_workers() == 4
+    b = get_pool(2, shrink=True)
+    assert b is not a and pool_max_workers() == 2
+    # shrink to the current width is a no-op reuse
+    assert get_pool(2, shrink=True) is b
+    # and a plain smaller ask still reuses
+    assert get_pool(1) is b and pool_max_workers() == 2
 
 
 def test_fully_deduped_batch_never_touches_the_pool():
@@ -70,7 +81,11 @@ def test_fully_deduped_batch_never_touches_the_pool():
         "one effective cell after dedupe must run inline"
 
 
-def test_process_spawn_capped_by_post_dedupe_cells():
+def test_process_spawn_capped_by_post_dedupe_cells(monkeypatch):
+    # pin the core count: widths below are what a box with enough CPUs
+    # chooses (core-starved boxes merge chunks, covered separately)
+    import repro.engine.runner as runner
+    monkeypatch.setattr(runner, "_usable_cores", lambda: 8)
     insts = _instances(2)
     # 8 cells collapse to 2 effective cells -> the pool is sized (and its
     # processes forked) for 2 workers, not the 4 requested
@@ -153,6 +168,29 @@ def test_balanced_chunks_splits_to_target():
     assert len(chunks) == 2
 
 
+def test_core_starved_box_merges_chunks(monkeypatch):
+    # on a box with fewer usable cores than requested workers, chunks
+    # merge down to the real parallelism: extra chunks cannot overlap
+    # and would only add IPC round trips. The pool is sized accordingly.
+    import repro.engine.runner as runner
+    monkeypatch.setattr(runner, "_usable_cores", lambda: 1)
+    insts = _instances(4)
+    pooled = run_batch(insts, ["splittable", "nonpreemptive"], workers=4)
+    assert pool_max_workers() == 1
+    inline = run_batch(insts, ["splittable", "nonpreemptive"], workers=0)
+    assert [str(r.makespan) for r in pooled] == \
+        [str(r.makespan) for r in inline]
+
+
+def test_packed_chunks_merges_deterministically():
+    from repro.engine.runner import _packed_chunks
+    chunks = _packed_chunks([[0], [1, 2, 3], [4, 5], [6]], 2)
+    assert sorted(i for c in chunks for i in c) == list(range(7))
+    assert len(chunks) == 2
+    # largest group first into the lightest bin: deterministic layout
+    assert _packed_chunks([[0], [1, 2, 3], [4, 5], [6]], 2) == chunks
+
+
 def test_balanced_chunks_stay_fine_grained_above_target():
     # more groups than workers: never merged up front — run_batch bounds
     # concurrency by windowing submissions, so heterogeneous cells keep
@@ -162,14 +200,28 @@ def test_balanced_chunks_stay_fine_grained_above_target():
     assert sorted(i for c in chunks for i in c) == list(range(6))
 
 
-def test_run_batch_respects_small_workers_on_wide_pool():
-    # pool already 4 wide; a workers=2 batch must still complete fine
+def test_run_batch_explicit_downsize_shrinks_wide_pool(monkeypatch):
+    # pool already 4 wide; an explicit workers=2 batch completes fine AND
+    # releases the unwanted width — a one-off wide batch must not pin
+    # max workers forever
+    import repro.engine.runner as runner
+    monkeypatch.setattr(runner, "_usable_cores", lambda: 8)
     get_pool(4)
     insts = _instances(6)
     reports = run_batch(insts, ["splittable", "nonpreemptive"], workers=2)
     assert len(reports) == 12
     assert all(r.status in ("ok", "infeasible") for r in reports)
-    assert pool_max_workers() == 4      # reused, not shrunk
+    assert pool_max_workers() == 2      # explicit downsize shrinks
+
+
+def test_run_batch_default_workers_never_shrinks():
+    # with no explicit workers= ask, a wide pool is reused as-is
+    from repro.engine.runner import DEFAULT_WORKERS
+    wide = max(DEFAULT_WORKERS + 2, 5)
+    get_pool(wide)
+    reports = run_batch(_instances(6), ["splittable"])
+    assert all(r.status in ("ok", "infeasible") for r in reports)
+    assert pool_max_workers() == wide   # implicit default: reuse, no shrink
 
 
 def test_chunked_reports_keep_grid_order_and_labels():

@@ -1,0 +1,241 @@
+"""Shared-memory instance transport: packing, lifecycle, no leaks."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine import run_batch, shutdown_pool
+from repro.engine import shm
+from repro.engine.pool import pool_id
+from repro.workloads import uniform_instance
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    shutdown_pool()
+    yield
+    shutdown_pool()
+    shm.release_all()
+
+
+def _instances(count, n=16):
+    return [(f"i{k}", uniform_instance(np.random.default_rng(k), n=n, C=4,
+                                       m=3, c=2, p_hi=50))
+            for k in range(count)]
+
+
+def _dev_shm_segments():
+    # pid-scoped: stale segments from an unrelated (SIGKILLed) process
+    # must not fail this process's leak assertions
+    prefix = f"{shm.SEGMENT_PREFIX}-{os.getpid()}-"
+    try:
+        return sorted(f for f in os.listdir("/dev/shm")
+                      if f.startswith(prefix))
+    except FileNotFoundError:       # non-Linux: registry introspection only
+        return []
+
+
+def _strip(rep):
+    d = rep.to_dict()
+    d.pop("wall_time_s", None)
+    return d
+
+
+# --------------------------------------------------------------------- #
+# packed layout
+# --------------------------------------------------------------------- #
+
+def test_pack_unpack_roundtrip():
+    insts = {inst.digest(): inst for _, inst in _instances(5)}
+    packed = shm.pack_instances(insts)
+    assert packed is not None
+    data, index = packed
+    assert set(index) == set(insts)
+    for digest, (offset, length) in index.items():
+        got = shm.unpack_instance(data[offset:offset + length])
+        assert got == insts[digest]
+        assert got.digest() == digest
+
+
+def test_pack_bigint_machines_falls_back():
+    (_, inst), = _instances(1)
+    huge = inst.with_machines(2 ** 70)      # outside int64: unpackable
+    assert shm.pack_instances({huge.digest(): huge}) is None
+
+
+def test_unpack_rejects_bad_magic():
+    with pytest.raises(ValueError):
+        shm.unpack_instance(b"\x00" * 64)
+
+
+# --------------------------------------------------------------------- #
+# segment registry lifecycle
+# --------------------------------------------------------------------- #
+
+def test_publish_release_and_introspection():
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory on this platform")
+    insts = {inst.digest(): inst for _, inst in _instances(2)}
+    data, index = shm.pack_instances(insts)
+    ref = shm.publish(data, index)
+    assert ref is not None
+    assert ref.name in shm.active_segments()
+    for digest in index:
+        assert shm.fetch_instance(ref, digest) == insts[digest]
+    shm.release(ref)
+    assert shm.active_segments() == []
+    assert _dev_shm_segments() == []
+    shm.release(ref)                        # idempotent
+
+
+def test_batch_segments_tracked_and_reused():
+    insts = _instances(4)
+    reports = run_batch(insts, ["splittable", "nonpreemptive"], workers=2)
+    assert all(r.status in ("ok", "infeasible") for r in reports)
+    # the batch's segment stays alive in the bounded reuse cache — but
+    # every /dev/shm entry is tracked by the registry (nothing leaks)
+    after_first = shm.active_segments()
+    assert _dev_shm_segments() == after_first
+    # a warm batch over the same instances reuses it: no new segment
+    run_batch(insts, ["splittable", "nonpreemptive"], workers=2)
+    assert shm.active_segments() == after_first
+    shm.release_all()
+    assert shm.active_segments() == []
+    assert _dev_shm_segments() == []
+
+
+def test_segment_reuse_cache_is_bounded():
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory on this platform")
+    from repro.engine.shm import _SEG_CACHE_MAX
+    for k in range(_SEG_CACHE_MAX + 4):
+        (_, inst), = _instances(1, n=8 + k)
+        ref = shm.acquire({inst.digest(): inst})
+        assert ref is not None
+        shm.unpin(ref)
+    assert len(shm.active_segments()) <= _SEG_CACHE_MAX
+    assert _dev_shm_segments() == shm.active_segments()
+
+
+def test_pinned_segment_survives_eviction_pressure():
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory on this platform")
+    from repro.engine.shm import _SEG_CACHE_MAX
+    (_, pinned_inst), = _instances(1, n=99)
+    pinned = shm.acquire({pinned_inst.digest(): pinned_inst})
+    assert pinned is not None
+    for k in range(_SEG_CACHE_MAX + 4):
+        (_, inst), = _instances(1, n=8 + k)
+        shm.unpin(shm.acquire({inst.digest(): inst}))
+    # the pinned segment is still attachable despite cache churn
+    assert pinned.name in shm.active_segments()
+    digest = next(iter(pinned.index))
+    assert shm.fetch_instance(pinned, digest) == pinned_inst
+    shm.unpin(pinned)
+
+
+def _crash_chunk(*args, **kwargs):    # pragma: no cover - dies in worker
+    os._exit(13)
+
+
+def test_no_leak_after_worker_crash(monkeypatch):
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory on this platform")
+    # a chunk that kills its worker process breaks the pool mid-batch;
+    # run_batch surfaces the failure but must still unlink its segment
+    import repro.engine.runner as runner
+    monkeypatch.setattr(runner, "_execute_chunk_shm", _crash_chunk)
+    with pytest.raises(Exception):
+        run_batch(_instances(4), ["splittable"], workers=2)
+    # the crashed batch unpinned its segment (the finally ran) and every
+    # surviving /dev/shm entry is registry-tracked — nothing is leaked
+    assert _dev_shm_segments() == shm.active_segments()
+    shm.release_all()
+    assert _dev_shm_segments() == []
+
+
+def test_shutdown_pool_cancel_sweeps_segments():
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory on this platform")
+    insts = {inst.digest(): inst for _, inst in _instances(2)}
+    ref = shm.publish(*shm.pack_instances(insts))
+    assert ref is not None and shm.active_segments() == [ref.name]
+    shutdown_pool(wait=False, cancel_futures=True)
+    assert shm.active_segments() == []
+    assert _dev_shm_segments() == []
+
+
+def test_interpreter_exit_reaps_segments():
+    if not shm.shm_enabled():
+        pytest.skip("no shared memory on this platform")
+    # a process that publishes and exits without releasing must leave
+    # nothing behind (the atexit sweep)
+    code = (
+        "import numpy as np\n"
+        "from repro.engine import shm\n"
+        "from repro.workloads import uniform_instance\n"
+        "inst = uniform_instance(np.random.default_rng(0), n=12, C=3,"
+        " m=3, c=2, p_hi=20)\n"
+        "ref = shm.publish(*shm.pack_instances({inst.digest(): inst}))\n"
+        "assert ref is not None\n"
+        "print(ref.name)\n"
+    )
+    env = dict(os.environ,
+               PYTHONPATH=os.pathsep.join(
+                   filter(None, ["src", os.environ.get("PYTHONPATH")])))
+    out = subprocess.run([sys.executable, "-c", code], check=True,
+                         capture_output=True, text=True, env=env,
+                         cwd=os.path.dirname(os.path.dirname(
+                             os.path.abspath(__file__))))
+    name = out.stdout.strip()
+    assert name.startswith(shm.SEGMENT_PREFIX)
+    assert not os.path.exists(os.path.join("/dev/shm", name))
+
+
+# --------------------------------------------------------------------- #
+# transport fallbacks
+# --------------------------------------------------------------------- #
+
+def test_shm_disabled_batch_matches():
+    insts = _instances(4)
+    algos = ["splittable", "nonpreemptive"]
+    with_shm = run_batch(insts, algos, workers=2)
+    shutdown_pool()
+    old = shm.set_shm_enabled(False)
+    try:
+        without = run_batch(insts, algos, workers=2)
+        assert shm.active_segments() == []
+    finally:
+        shm.set_shm_enabled(old)
+    assert [_strip(a) for a in with_shm] == [_strip(b) for b in without]
+
+
+def test_bigint_instance_batch_uses_pickle_fallback():
+    # one instance outside the packed layout sends the whole batch down
+    # the pickle transport — and it still answers identically to inline
+    base = _instances(3)
+    huge = [(lbl, inst.with_machines(2 ** 70)) for lbl, inst in base]
+    pooled = run_batch(huge, ["splittable"], workers=2)
+    assert shm.active_segments() == []
+    inline = run_batch(huge, ["splittable"], workers=0)
+    assert [_strip(a) for a in pooled] == [_strip(b) for b in inline]
+    assert pool_id() is not None        # the pool did run the batch
+
+
+def test_env_gate_disables_transport():
+    code = (
+        "from repro.engine import shm\n"
+        "assert not shm.shm_enabled()\n"
+        "assert shm.publish(b'x', {}) is None\n"
+    )
+    env = dict(os.environ, REPRO_DISABLE_SHM="1",
+               PYTHONPATH=os.pathsep.join(
+                   filter(None, ["src", os.environ.get("PYTHONPATH")])))
+    subprocess.run([sys.executable, "-c", code], check=True, env=env,
+                   cwd=os.path.dirname(os.path.dirname(
+                       os.path.abspath(__file__))))

@@ -72,3 +72,66 @@ class TestConfigurationSpace:
         space = build_configuration_space([5], max_slots=1, max_size=5)
         for k in range(space.num_configs):
             assert k in space.buckets[space.bucket_of(k)]
+
+
+class TestWeightedMemo:
+    def setup_method(self):
+        from repro.ptas import configurations as C
+        C._enumerate_cached.cache_clear()
+        C._build_space_cached.cache_clear()
+
+    teardown_method = setup_method
+
+    def test_hits_and_misses_counted(self):
+        from repro.ptas.configurations import configuration_cache_stats
+        build_configuration_space([4, 6], max_slots=2, max_size=10)
+        build_configuration_space([4, 6], max_slots=2, max_size=10)
+        stats = configuration_cache_stats()
+        assert stats["spaces"]["misses"] == 1
+        assert stats["spaces"]["hits"] == 1
+        assert stats["enumerate"]["misses"] == 1
+        assert stats["spaces"]["weight"] > 0
+
+    def test_weight_bound_evicts_lru(self):
+        from repro.ptas.configurations import _WeightedMemo
+        calls = []
+
+        def fn(k):
+            calls.append(k)
+            return list(range(10))          # weight 10 per entry
+
+        memo = _WeightedMemo(fn, max_weight=25, weight_of=len)
+        for k in (1, 2, 1, 3):              # 3 entries = 30 > 25: evict 2
+            memo(k)
+        assert memo(1) == list(range(10))   # still cached (recently used)
+        assert calls == [1, 2, 3]
+        memo(2)                             # was evicted: recomputed
+        assert calls == [1, 2, 3, 2]
+        stats = memo.cache_stats()
+        assert stats["evictions"] >= 1
+        assert stats["weight"] <= 25 or stats["entries"] == 1
+
+    def test_oversized_entry_kept_alone(self):
+        from repro.ptas.configurations import _WeightedMemo
+        memo = _WeightedMemo(lambda k: list(range(100)), max_weight=10,
+                             weight_of=len)
+        assert len(memo(0)) == 100          # larger than the whole budget
+        assert memo.cache_stats()["entries"] == 1
+        memo(0)
+        assert memo.cache_stats()["hits"] == 1
+
+    def test_failures_propagate_uncached(self):
+        with pytest.raises(CapacityExceededError):
+            enumerate_bounded_multisets(list(range(1, 30)), 10, 200, cap=50)
+        # a later call with a higher cap is not poisoned
+        got = enumerate_bounded_multisets([1], 1, 1)
+        assert ((1, 1),) in got
+
+    def test_cache_clear_resets_counters(self):
+        from repro.ptas import configurations as C
+        build_configuration_space([4], max_slots=1, max_size=4)
+        C._build_space_cached.cache_clear()
+        stats = C._build_space_cached.cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0,
+                         "entries": 0, "weight": 0,
+                         "max_weight": stats["max_weight"]}
