@@ -18,6 +18,8 @@ Subcommands::
     fuzz     seeded differential fuzzing: adversarial instances through
              the cross-solver/fast-path/metamorphic oracles, minimised
              counterexamples written in the tests/corpus format
+    metrics  print the Prometheus metrics registry (the in-process one,
+             or a running service's via --url)
 
 Examples::
 
@@ -273,7 +275,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
     serve(args.db, host=args.host, port=args.port, drainers=args.drainers,
           engine_workers=args.engine_workers,
-          default_timeout=args.timeout, quiet=args.quiet)
+          default_timeout=args.timeout, quiet=args.quiet,
+          log_level=args.log_level)
     return 0
 
 
@@ -299,19 +302,33 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                                            timeout=args.wait_timeout))
             except ServiceError as exc:
                 # a job that finished in a failed state must fail the
-                # command, not just print reports that omit it
+                # command — with enough context to debug it: the job's
+                # trace id (greps straight into the service's structured
+                # logs) and its queue/run timings, not a bare exit 1
                 if exc.code != "job_failed":
                     raise
                 failed_jobs.append(job_id)
-                print(f"error: job {job_id} ({path}): {exc.message}",
-                      file=sys.stderr)
+                job = client.job(job_id)
+                trace = job.get("trace_id") or "-"
+                timing = ""
+                started, finished = (job.get("started_at"),
+                                     job.get("finished_at"))
+                if started and finished:
+                    timing = f" after {finished - started:.3f}s running"
+                print(f"error: job {job_id} ({path}) [trace {trace}]"
+                      f"{timing}: {exc.message}", file=sys.stderr)
     except (ServiceError, TimeoutError, OSError) as exc:
         raise SystemExit(f"error: {exc}")
     print(json.dumps({"reports": [r.to_dict() for r in reports]}, indent=2))
     if reports:
         print(render_reports(reports), file=sys.stderr)
-    return 1 if failed_jobs or any(r.status == "error" for r in reports) \
-        else 0
+    bad_reports = [r for r in reports if r.status == "error"]
+    for r in bad_reports:
+        trace = r.extra.get("trace_id", "-") if r.extra else "-"
+        print(f"error: {r.instance_label}/{r.algorithm} [trace {trace}] "
+              f"finished {r.status} after {r.wall_time_s:.3f}s: {r.error}",
+              file=sys.stderr)
+    return 1 if failed_jobs or bad_reports else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -334,6 +351,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     path = write_results(run, args.output)
     print(f"{len(run.results)} bench(es) written to {path}",
           file=sys.stderr)
+    # dump the in-process metrics registry next to the results — the
+    # solver-latency histograms the benches just filled are themselves a
+    # perf artifact worth keeping with the run
+    import os
+    from .obs.metrics import REGISTRY
+    metrics_path = os.path.splitext(str(path))[0] + ".metrics.txt"
+    with open(metrics_path, "w") as fh:
+        fh.write(REGISTRY.render())
+    print(f"metrics registry dumped to {metrics_path}", file=sys.stderr)
     if baseline is None:
         return 0
     try:
@@ -402,6 +428,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     print(json.dumps({"violations": [v.to_dict()
                                      for v in result.shrunk]}, indent=2))
     return 1
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.url:
+        import urllib.request
+        from .service.server import API_VERSION
+        url = args.url.rstrip("/") + f"/{API_VERSION}/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as resp:
+                sys.stdout.write(resp.read().decode())
+        except OSError as exc:
+            raise SystemExit(f"error: cannot fetch {url}: {exc}")
+    else:
+        from .obs.metrics import REGISTRY
+        sys.stdout.write(REGISTRY.render())
+    return 0
 
 
 _GENERATORS = {
@@ -528,7 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--timeout", type=float, default=None,
                     help="default per-run timeout for jobs without one")
     pe.add_argument("--quiet", action="store_true",
-                    help="suppress per-request access logging")
+                    help="log warnings only (shorthand for "
+                         "--log-level warning)")
+    pe.add_argument("--log-level", default=None,
+                    choices=("debug", "info", "warning", "error"),
+                    help="structured-log threshold; overrides --quiet "
+                         "(default: info)")
     pe.set_defaults(func=_cmd_serve)
 
     pu = sub.add_parser(
@@ -598,6 +645,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail when the ratio exceeds this (CI uses 2.0 "
                          "to absorb shared-runner noise)")
     pf.set_defaults(func=_cmd_bench)
+
+    pm = sub.add_parser(
+        "metrics", help="print the Prometheus metrics registry")
+    pm.add_argument("--url",
+                    help="fetch /v1/metrics from this `repro serve` "
+                         "endpoint instead of dumping the in-process "
+                         "registry")
+    pm.set_defaults(func=_cmd_metrics)
     return p
 
 

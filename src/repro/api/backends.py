@@ -25,7 +25,8 @@ from ..engine import DEFAULT_WORKERS, execute, run_batch
 from ..engine.cache import cache_key, is_cacheable, relabel_hit
 from ..engine.pool import submit_task
 from ..engine.report import SolveReport
-from ..engine.runner import execute_in_worker
+from ..engine.runner import SOLVE_SECONDS, execute_in_worker
+from ..obs.trace import current_trace_id
 from .requests import BatchRequest, SolveRequest
 
 if TYPE_CHECKING:    # pragma: no cover - typing only
@@ -124,6 +125,7 @@ class ProcessPoolBackend(InProcessBackend):
         # (fork pre-spawns the pool's whole width on first use).
         width = min(self.workers, len(pending))
         fast = fast_paths_enabled()
+        tid = current_trace_id()    # shipped to workers like fast_paths
         queue = iter(pending)
         live: dict = {}
 
@@ -134,7 +136,7 @@ class ProcessPoolBackend(InProcessBackend):
             key, label, inst, name, kwargs = item
             fut = submit_task(width, execute_in_worker, inst, name, kwargs,
                               label=label, timeout=batch.timeout,
-                              fast_paths=fast)
+                              fast_paths=fast, trace_id=tid)
             live[fut] = key
         for _ in range(width):
             submit_next()
@@ -143,6 +145,11 @@ class ProcessPoolBackend(InProcessBackend):
             for fut in done:
                 key = live.pop(fut)
                 rep = fut.result()
+                # the worker observed into its own (lost) registry; record
+                # the solve in the parent's
+                SOLVE_SECONDS.observe(rep.wall_time_s,
+                                      algorithm=rep.algorithm,
+                                      status=rep.status)
                 submit_next()
                 if self.cache is not None and is_cacheable(rep):
                     self.cache.put(key, rep)

@@ -25,6 +25,8 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from ..core.instance import Instance
+from ..obs.metrics import REGISTRY
+from ..obs.trace import current_trace_id
 from .report import SolveReport
 
 __all__ = ["ReportCache", "cache_key", "is_cacheable", "relabel_hit",
@@ -54,6 +56,15 @@ def cache_key(inst: Instance, algorithm: str,
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Cache hit/miss counters, labelled by which cache answered: the
+#: engine's in-memory/disk ReportCache or the service's SQLite adapter.
+CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total", "Report-cache lookups served from cache.",
+    labelnames=("cache",))
+CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total", "Report-cache lookups that missed.",
+    labelnames=("cache",))
+
 #: Outcomes worth remembering; timeouts and crashes are retried instead.
 CACHEABLE_STATUSES = ("ok", "infeasible", "unsupported")
 
@@ -66,9 +77,16 @@ def is_cacheable(report: SolveReport) -> bool:
 
 def relabel_hit(report: SolveReport, label: str) -> SolveReport:
     """A cached/duplicate report re-issued for a new batch cell: marked
-    cached, relabelled to the requesting cell, zero solver time."""
+    cached, relabelled to the requesting cell, zero solver time. When
+    the caller runs under a trace context, the re-issued report is
+    re-stamped with *that* trace — a cache hit belongs to the request
+    that received it, not the one that originally solved it."""
+    tid = current_trace_id()
+    extra = report.extra
+    if tid is not None and extra.get("trace_id") != tid:
+        extra = {**extra, "trace_id": tid}
     return replace(report, cached=True, instance_label=label,
-                   wall_time_s=0.0)
+                   wall_time_s=0.0, extra=extra)
 
 
 class ReportCache:
@@ -114,7 +132,9 @@ class ReportCache:
             if rep is not None:
                 self._mem.move_to_end(key)
                 self.hits += 1
-                return rep
+        if rep is not None:
+            CACHE_HITS.inc(cache="engine")
+            return rep
         # Disk probe outside the lock: file IO must not serialise every
         # thread, and a racing double-read just loads the same JSON twice.
         if self._dir is not None:
@@ -130,6 +150,10 @@ class ReportCache:
             else:
                 self._store(key, rep)
                 self.hits += 1
+        if rep is None:
+            CACHE_MISSES.inc(cache="engine")
+        else:
+            CACHE_HITS.inc(cache="engine")
         return rep
 
     def _store(self, key: str, report: SolveReport) -> None:

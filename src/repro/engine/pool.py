@@ -38,6 +38,8 @@ import atexit
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 
+from ..obs.metrics import REGISTRY
+
 __all__ = ["get_pool", "submit_task", "pool_id", "pool_max_workers",
            "shutdown_pool", "batch_begin", "batch_end", "active_batches"]
 
@@ -45,6 +47,15 @@ _lock = threading.Lock()
 _pool: ProcessPoolExecutor | None = None
 _pool_workers: int = 0
 _active_batches: int = 0
+
+_POOL_WIDTH = REGISTRY.gauge(
+    "repro_pool_width", "Max workers of the live shared process pool "
+    "(0 when not running).")
+_POOL_TASKS = REGISTRY.counter(
+    "repro_pool_tasks_total", "Chunks/cells submitted to the shared "
+    "process pool.")
+_POOL_BATCHES = REGISTRY.gauge(
+    "repro_pool_batches_active", "Pooled batches currently in flight.")
 
 
 def _broken(pool: ProcessPoolExecutor) -> bool:
@@ -71,6 +82,7 @@ def _ensure(workers: int, shrink: bool = False) -> ProcessPoolExecutor:
     if _pool is None:
         _pool = ProcessPoolExecutor(max_workers=workers)
         _pool_workers = workers
+    _POOL_WIDTH.set(_pool_workers)
     return _pool
 
 
@@ -104,6 +116,7 @@ def submit_task(workers: int, fn, /, *args, **kwargs) -> Future:
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    _POOL_TASKS.inc()
     with _lock:
         return _ensure(workers).submit(fn, *args, **kwargs)
 
@@ -113,6 +126,7 @@ def batch_begin() -> None:
     global _active_batches
     with _lock:
         _active_batches += 1
+        _POOL_BATCHES.set(_active_batches)
 
 
 def batch_end() -> None:
@@ -120,6 +134,7 @@ def batch_end() -> None:
     global _active_batches
     with _lock:
         _active_batches -= 1
+        _POOL_BATCHES.set(_active_batches)
 
 
 def active_batches() -> int:
@@ -164,6 +179,7 @@ def shutdown_pool(wait: bool = True, *, cancel_futures: bool = False) -> None:
     global _pool, _pool_workers
     with _lock:
         pool, _pool, _pool_workers = _pool, None, 0
+    _POOL_WIDTH.set(0)
     if pool is not None:
         pool.shutdown(wait=wait, cancel_futures=cancel_futures)
     if cancel_futures:

@@ -45,6 +45,8 @@ from ..core.errors import (CapacityExceededError, InfeasibleInstanceError,
 from ..core.fastmath import fast_paths_enabled
 from ..core.instance import Instance
 from ..core.validation import validate
+from ..obs.metrics import REGISTRY
+from ..obs.trace import current_trace_id, trace_context
 from ..registry import get_solver
 from . import shm
 from .cache import ReportCache, cache_key, is_cacheable, relabel_hit
@@ -56,6 +58,33 @@ __all__ = ["run_batch", "execute", "execute_in_worker", "DEFAULT_WORKERS"]
 
 #: Default process fan-out; small enough not to oversubscribe CI boxes.
 DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+#: Per-solver latency, labelled by algorithm and outcome. Stamped where
+#: the report is *built* (inline runs) and again where pooled chunks are
+#: collected — worker processes have their own invisible registry, so
+#: the parent observes pooled cells from the returned reports.
+SOLVE_SECONDS = REGISTRY.histogram(
+    "repro_solve_seconds", "Wall time of individual solver runs.",
+    labelnames=("algorithm", "status"))
+_BATCH_CELLS = REGISTRY.counter(
+    "repro_batch_cells_total", "Batch cells by how they were satisfied: "
+    "solved fresh, served from cache, or deduplicated within the batch.",
+    labelnames=("outcome",))
+_CHUNK_CELLS = REGISTRY.histogram(
+    "repro_batch_chunk_cells", "Cells per chunk shipped to the pool.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+
+
+@contextmanager
+def _maybe_trace(trace_id: str | None):
+    """Install a *shipped* trace ID (worker side); no-op when the
+    submitting batch ran without one — unlike ``trace_context()``,
+    nothing is generated here."""
+    if trace_id is None:
+        yield
+        return
+    with trace_context(trace_id):
+        yield
 
 
 class _TimeoutExceeded(Exception):
@@ -150,6 +179,19 @@ def _base_fields(spec, inst: Instance, label: str) -> dict:
                 proven_ratio=spec.ratio_label)
 
 
+def _trace_extra(base_extra: Mapping[str, Any] | None = None) -> dict:
+    """A report's ``extra`` mapping, stamped with the ambient trace ID
+    when one is set. This is the single stamping point for both
+    ``execute`` and the batched ``solve_many`` path — with no trace
+    context active (library use, golden tests, corpus replay) the
+    reports stay byte-identical to pre-observability output."""
+    extra = dict(base_extra) if base_extra else {}
+    tid = current_trace_id()
+    if tid is not None:
+        extra["trace_id"] = tid
+    return extra
+
+
 def _failure_report(exc: BaseException, base: dict, elapsed: float,
                     timeout: float | None) -> SolveReport:
     """Map a solve/validate exception to its report — the single failure
@@ -157,33 +199,35 @@ def _failure_report(exc: BaseException, base: dict, elapsed: float,
     a batched cell fails byte-identically to an inline one. Non-solver
     ``BaseException``s (``KeyboardInterrupt``...) propagate."""
     if isinstance(exc, _TimeoutExceeded):
-        return SolveReport(status="timeout", wall_time_s=elapsed,
-                           error=f"exceeded {timeout:g}s", **base)
-    if isinstance(exc, (UnsupportedInstanceError, CapacityExceededError)):
+        status, error = "timeout", f"exceeded {timeout:g}s"
+    elif isinstance(exc, (UnsupportedInstanceError, CapacityExceededError)):
         # the instance is fine; this solver just cannot take it — batch
         # runs skip the cell instead of mislabeling the instance
-        return SolveReport(status="unsupported", wall_time_s=elapsed,
-                           error=str(exc), **base)
-    if isinstance(exc, (InfeasibleInstanceError, InfeasibleScheduleError,
-                        InvalidInstanceError)):
-        return SolveReport(status="infeasible", wall_time_s=elapsed,
-                           error=str(exc), **base)
-    if isinstance(exc, Exception):      # one cell, one report
-        return SolveReport(status="error", wall_time_s=elapsed,
-                           error=f"{type(exc).__name__}: {exc}", **base)
-    raise exc
+        status, error = "unsupported", str(exc)
+    elif isinstance(exc, (InfeasibleInstanceError, InfeasibleScheduleError,
+                          InvalidInstanceError)):
+        status, error = "infeasible", str(exc)
+    elif isinstance(exc, Exception):    # one cell, one report
+        status, error = "error", f"{type(exc).__name__}: {exc}"
+    else:
+        raise exc
+    SOLVE_SECONDS.observe(elapsed, algorithm=base["algorithm"],
+                          status=status)
+    return SolveReport(status=status, wall_time_s=elapsed, error=error,
+                       extra=_trace_extra(), **base)
 
 
 def _ok_report(raw, makespan, validated: bool, base: dict, elapsed: float,
                keep_schedule: bool = False) -> SolveReport:
     """Assemble the success report — shared with ``solve_many``."""
-    extra = dict(raw.extra)
+    extra = _trace_extra(raw.extra)
     if keep_schedule and raw.schedule is not None:
         from ..io import schedule_to_dict
         try:
             extra["schedule"] = schedule_to_dict(raw.schedule)
         except TypeError:
             pass    # compact schedules have no portable JSON form
+    SOLVE_SECONDS.observe(elapsed, algorithm=base["algorithm"], status="ok")
     return SolveReport(status="ok", makespan=makespan, guess=raw.guess,
                        certified_ratio=_ratio(makespan, raw.guess),
                        wall_time_s=elapsed, validated=validated,
@@ -231,7 +275,9 @@ def _execute_task(task: tuple) -> SolveReport:
 
 
 def _execute_chunk(groups: list[tuple[Instance, list[tuple]]],
-                   fast_paths: bool = True) -> list[tuple[int, SolveReport]]:
+                   fast_paths: bool = True,
+                   trace_id: str | None = None
+                   ) -> list[tuple[int, SolveReport]]:
     """Run one chunk — several cells grouped by instance — in a worker.
 
     Cells are grouped by instance before submission, so each distinct
@@ -241,10 +287,12 @@ def _execute_chunk(groups: list[tuple[Instance, list[tuple]]],
     ``fast_paths`` carries the caller's :mod:`repro.core.fastmath`
     switch across the process boundary — workers are forked once and
     reused warm, so the flag must ride with the task, not the fork.
+    ``trace_id`` rides along the same way: context variables do not
+    cross the process boundary either.
     """
     from ..core.fastmath import use_fast_paths
     out: list[tuple[int, SolveReport]] = []
-    with use_fast_paths(fast_paths):
+    with use_fast_paths(fast_paths), _maybe_trace(trace_id):
         for inst, cells in groups:
             out.extend(
                 (i, execute(inst, name, kwargs, label=label,
@@ -255,7 +303,8 @@ def _execute_chunk(groups: list[tuple[Instance, list[tuple]]],
 
 def _execute_chunk_shm(seg_name: str, index: dict, cells: list[tuple],
                        timeout: float | None,
-                       fast_paths: bool = True
+                       fast_paths: bool = True,
+                       trace_id: str | None = None
                        ) -> list[tuple[int, SolveReport]]:
     """Run one same-algorithm chunk addressed through shared memory.
 
@@ -270,7 +319,7 @@ def _execute_chunk_shm(seg_name: str, index: dict, cells: list[tuple],
     from .multicell import solve_many
     ref = shm.SegmentRef(seg_name, index)
     insts = shm.fetch_many(ref, {c[2] for c in cells})
-    with use_fast_paths(fast_paths):
+    with use_fast_paths(fast_paths), _maybe_trace(trace_id):
         reps = solve_many([(label, insts[digest], name, kwargs)
                            for _, label, digest, name, kwargs in cells],
                           timeout=timeout)
@@ -279,12 +328,13 @@ def _execute_chunk_shm(seg_name: str, index: dict, cells: list[tuple],
 
 def execute_in_worker(inst: Instance, name: str, kwargs: Mapping[str, Any],
                       *, label: str = "", timeout: float | None = None,
-                      fast_paths: bool = True) -> SolveReport:
+                      fast_paths: bool = True,
+                      trace_id: str | None = None) -> SolveReport:
     """:func:`execute` for pool submission: applies the shipped
-    :mod:`repro.core.fastmath` switch in the worker first (see
-    :func:`_execute_chunk`)."""
+    :mod:`repro.core.fastmath` switch and trace ID in the worker first
+    (see :func:`_execute_chunk`)."""
     from ..core.fastmath import use_fast_paths
-    with use_fast_paths(fast_paths):
+    with use_fast_paths(fast_paths), _maybe_trace(trace_id):
         return execute(inst, name, kwargs, label=label, timeout=timeout)
 
 
@@ -428,6 +478,13 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
 
     pending = [i for i, r in enumerate(reports)
                if r is None and i not in dup_of]
+    cached_cells = sum(1 for r in reports if r is not None)
+    if cached_cells:
+        _BATCH_CELLS.inc(cached_cells, outcome="cached")
+    if dup_of:
+        _BATCH_CELLS.inc(len(dup_of), outcome="deduped")
+    if pending:
+        _BATCH_CELLS.inc(len(pending), outcome="solved")
     if workers > 1 and len(pending) > 1:
         # Transport: the batch's distinct instances live in one
         # shared-memory segment so chunks ship only (digest, offset)
@@ -480,6 +537,10 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
                 # fork-with-held-locks deadlock (see pool.active_batches)
                 get_pool(width, shrink=True)
             fast = fast_paths_enabled()
+            # ship the ambient trace with each chunk: contextvars do not
+            # cross the process boundary (same reason fast_paths rides
+            # along), and the workers' own registries are invisible here
+            tid = current_trace_id()
             queue = iter(chunks)
             live: set = set()
 
@@ -487,6 +548,7 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
                 chunk = next(queue, None)
                 if chunk is None:
                     return
+                _CHUNK_CELLS.observe(len(chunk))
                 if seg is not None:
                     cells = [(i, tasks[i][0], tasks[i][1].digest(),
                               tasks[i][2], tasks[i][3]) for i in chunk]
@@ -494,7 +556,7 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
                              for d in {c[2] for c in cells}}
                     live.add(submit_task(width, _execute_chunk_shm,
                                          seg.name, index, cells, timeout,
-                                         fast))
+                                         fast, tid))
                     return
                 by_digest: dict[str, tuple[Instance, list[tuple]]] = {}
                 for i in chunk:
@@ -503,7 +565,7 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
                     group[1].append((i, tasks[i][0], tasks[i][2],
                                      tasks[i][3], tasks[i][4]))
                 live.add(submit_task(width, _execute_chunk,
-                                     list(by_digest.values()), fast))
+                                     list(by_digest.values()), fast, tid))
 
             for _ in range(width):
                 submit_next()
@@ -512,6 +574,11 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
                 for fut in done:
                     for i, rep in fut.result():
                         reports[i] = rep
+                        # worker-side observations died with the worker's
+                        # registry; re-observe from the returned report
+                        SOLVE_SECONDS.observe(rep.wall_time_s,
+                                              algorithm=rep.algorithm,
+                                              status=rep.status)
                     submit_next()
         finally:
             batch_end()

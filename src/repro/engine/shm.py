@@ -55,6 +55,7 @@ from collections import OrderedDict
 from typing import Iterable, Mapping
 
 from ..core.instance import Instance
+from ..obs.metrics import REGISTRY
 
 __all__ = ["pack_instances", "unpack_instance", "publish", "release",
            "release_all", "active_segments", "fetch_instance",
@@ -163,6 +164,16 @@ _registry_lock = threading.Lock()
 _segments: dict[str, object] = {}      # name -> SharedMemory (creator)
 _counter = 0
 
+_SHM_PUBLISHED = REGISTRY.counter(
+    "repro_shm_segments_published_total",
+    "Shared-memory segments created for batch instance transport.")
+_SHM_REUSED = REGISTRY.counter(
+    "repro_shm_segments_reused_total",
+    "acquire() calls served by a live segment from the reuse cache.")
+_SHM_PINNED = REGISTRY.gauge(
+    "repro_shm_pinned_segments",
+    "Segments currently pinned by in-flight batches.")
+
 
 def publish(data: bytes,
             index: dict[str, tuple[int, int]]) -> SegmentRef | None:
@@ -183,6 +194,7 @@ def publish(data: bytes,
     seg.buf[: len(data)] = data
     with _registry_lock:
         _segments[seg.name] = seg
+    _SHM_PUBLISHED.inc()
     return SegmentRef(seg.name, index)
 
 
@@ -194,6 +206,7 @@ def release(ref: SegmentRef | str | None) -> None:
     with _registry_lock:
         seg = _segments.pop(name, None)
         _pins.pop(name, None)
+        _SHM_PINNED.set(len(_pins))
         for key in [k for k, r in _seg_cache.items() if r.name == name]:
             del _seg_cache[key]
     if seg is not None:
@@ -258,6 +271,8 @@ def acquire(instances: Mapping[str, Instance]) -> SegmentRef | None:
         if ref is not None:
             _seg_cache.move_to_end(key)
             _pins[ref.name] = _pins.get(ref.name, 0) + 1
+            _SHM_PINNED.set(len(_pins))
+            _SHM_REUSED.inc()
             return ref
     packed = pack_instances(instances)
     if packed is None:
@@ -269,6 +284,7 @@ def acquire(instances: Mapping[str, Instance]) -> SegmentRef | None:
     with _registry_lock:
         _seg_cache[key] = ref
         _pins[ref.name] = _pins.get(ref.name, 0) + 1
+        _SHM_PINNED.set(len(_pins))
         for k in list(_seg_cache):
             if len(_seg_cache) <= _SEG_CACHE_MAX:
                 break
@@ -294,6 +310,7 @@ def unpin(ref: SegmentRef | None) -> None:
             _pins[ref.name] = left
         else:
             _pins.pop(ref.name, None)
+        _SHM_PINNED.set(len(_pins))
 
 
 # --------------------------------------------------------------------- #

@@ -341,6 +341,12 @@ def differential_oracle(inst: Instance, specs: Sequence[SolverSpec],
 def _stripped(rep: SolveReport) -> dict:
     d = rep.to_dict()
     d.pop("wall_time_s", None)
+    # trace ids are per-run observability metadata, not solver output;
+    # both halves of a double-run normally stamp the same ambient id,
+    # but never let a context boundary masquerade as a solver mismatch
+    if isinstance(d.get("extra"), dict):
+        d["extra"] = {k: v for k, v in d["extra"].items()
+                      if k != "trace_id"}
     return d
 
 

@@ -24,6 +24,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..api import Session
+from ..obs.log import get_logger
+from ..obs.metrics import REGISTRY
+from ..obs.trace import trace_context
 from .generators import draw_case
 from .oracles import (DEFAULT_SOLVERS, ORACLES, PTAS_SOLVERS, Violation,
                       _run_reports, batch_oracle, differential_oracle,
@@ -36,6 +39,14 @@ __all__ = ["FuzzResult", "run_campaign"]
 #: Cases above these sizes skip the double-run oracles (fastpath and
 #: metamorphic re-solve everything 2-5x).
 _DOUBLE_RUN_MAX_JOBS = 64
+
+_log = get_logger("repro.fuzz")
+
+_FUZZ_CASES = REGISTRY.counter(
+    "repro_fuzz_cases_total", "Adversarial fuzz cases executed.")
+_FUZZ_VIOLATIONS = REGISTRY.counter(
+    "repro_fuzz_violations_total", "Oracle violations found, by oracle.",
+    labelnames=("oracle",))
 
 
 @dataclass
@@ -119,63 +130,79 @@ def run_campaign(seed: int = 0, count: int = 100, *,
     result = FuzzResult(seed=seed)
     seen: set[tuple[str, str]] = set()
 
-    for i in range(count):
-        if time_budget is not None \
-                and time.monotonic() - t0 > time_budget:
-            result.out_of_budget = True
-            break
-        case = draw_case(np.random.default_rng([seed, i]))
-        case_seed = _case_seed(seed, i)
-        inst = case.instance
-        specs = eligible_solvers(inst, names)
-        if not specs:               # pragma: no cover - names all filtered
-            continue
-
-        def rng():
-            # every oracle gets a *fresh* generator over the case seed —
-            # matching what shrink validation and corpus replay draw from
-            return np.random.default_rng(case_seed)
-
-        found: list[Violation] = []
-        reports = _run_reports(inst, specs, session)
-        found += reports_oracle(inst, specs, session, rng(),
-                                reports=reports)
-        found += differential_oracle(inst, specs, session, rng(),
-                                     reports=reports)
-        if inst.num_jobs <= _DOUBLE_RUN_MAX_JOBS:
-            fast_specs = [s for s in specs if s.kind != "exact"]
-            found += fastpath_oracle(inst, fast_specs, session, rng())
-            found += batch_oracle(inst, fast_specs, session, rng())
-            found += metamorphic_oracle(inst, specs, session, rng(),
-                                        reports=reports)
-        found = [replace(v, seed=case_seed) for v in found]
-
-        result.cases_run += 1
-        if not found:
-            if progress is not None and (i + 1) % 25 == 0:
-                progress(f"[fuzz] {i + 1}/{count} cases, "
-                         f"{len(result.violations)} violation(s)")
-            continue
-        result.violations += found
-        for violation in found:
-            key = (violation.oracle, violation.solver)
-            if key in seen:
+    # one trace spans the campaign: every solve report and log line it
+    # produces carries the same id (both halves of a double-run oracle
+    # stamp identically, so report comparisons are unaffected)
+    with trace_context():
+        _log.info("fuzz_campaign_started", seed=seed, count=count,
+                  solvers=len(names))
+        for i in range(count):
+            if time_budget is not None \
+                    and time.monotonic() - t0 > time_budget:
+                result.out_of_budget = True
+                break
+            case = draw_case(np.random.default_rng([seed, i]))
+            case_seed = _case_seed(seed, i)
+            inst = case.instance
+            specs = eligible_solvers(inst, names)
+            if not specs:           # pragma: no cover - names all filtered
                 continue
-            seen.add(key)
-            if progress is not None:
-                progress(f"[fuzz] case {i} ({case.generator}): "
-                         f"{violation}")
-            if shrink:
-                small = _shrink_violation(violation, names, session)
-                result.shrunk.append(small)
-                if progress is not None and \
-                        small.instance != violation.instance:
-                    si = small.instance
-                    progress(f"[fuzz]   shrunk to n={si.num_jobs} "
-                             f"C={si.num_classes} m={si.machines} "
-                             f"c={si.class_slots}")
-            else:
-                result.shrunk.append(violation)
 
-    result.elapsed_s = time.monotonic() - t0
+            def rng():
+                # every oracle gets a *fresh* generator over the case
+                # seed — matching what shrink validation and corpus
+                # replay draw from
+                return np.random.default_rng(case_seed)
+
+            found: list[Violation] = []
+            reports = _run_reports(inst, specs, session)
+            found += reports_oracle(inst, specs, session, rng(),
+                                    reports=reports)
+            found += differential_oracle(inst, specs, session, rng(),
+                                         reports=reports)
+            if inst.num_jobs <= _DOUBLE_RUN_MAX_JOBS:
+                fast_specs = [s for s in specs if s.kind != "exact"]
+                found += fastpath_oracle(inst, fast_specs, session, rng())
+                found += batch_oracle(inst, fast_specs, session, rng())
+                found += metamorphic_oracle(inst, specs, session, rng(),
+                                            reports=reports)
+            found = [replace(v, seed=case_seed) for v in found]
+
+            result.cases_run += 1
+            _FUZZ_CASES.inc()
+            if not found:
+                if progress is not None and (i + 1) % 25 == 0:
+                    progress(f"[fuzz] {i + 1}/{count} cases, "
+                             f"{len(result.violations)} violation(s)")
+                continue
+            result.violations += found
+            for violation in found:
+                _FUZZ_VIOLATIONS.inc(oracle=violation.oracle)
+                _log.warning("fuzz_violation", case=i, oracle=violation.oracle,
+                             solver=violation.solver, seed=case_seed)
+            for violation in found:
+                key = (violation.oracle, violation.solver)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if progress is not None:
+                    progress(f"[fuzz] case {i} ({case.generator}): "
+                             f"{violation}")
+                if shrink:
+                    small = _shrink_violation(violation, names, session)
+                    result.shrunk.append(small)
+                    if progress is not None and \
+                            small.instance != violation.instance:
+                        si = small.instance
+                        progress(f"[fuzz]   shrunk to n={si.num_jobs} "
+                                 f"C={si.num_classes} m={si.machines} "
+                                 f"c={si.class_slots}")
+                else:
+                    result.shrunk.append(violation)
+
+        result.elapsed_s = time.monotonic() - t0
+        _log.info("fuzz_campaign_finished", cases=result.cases_run,
+                  violations=len(result.violations),
+                  out_of_budget=result.out_of_budget,
+                  elapsed_s=round(result.elapsed_s, 6))
     return result

@@ -1,0 +1,22 @@
+"""Observability: metrics registry, structured logs, trace propagation.
+
+Dependency-free (stdlib only), so every layer of the stack — core
+engine, service, CLI — can instrument itself without gating on optional
+packages. See :mod:`repro.obs.metrics`, :mod:`repro.obs.log` and
+:mod:`repro.obs.trace`; the metric-name catalogue lives in the README's
+Observability section.
+"""
+
+from .log import get_logger, set_level, set_stream
+from .metrics import (CONTENT_TYPE, DEFAULT_BUCKETS, REGISTRY, Counter,
+                      Gauge, Histogram, MetricsRegistry, parse_exposition)
+from .trace import (TRACE_HEADER, current_trace_id, is_valid_trace_id,
+                    new_trace_id, trace_context)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "REGISTRY",
+    "CONTENT_TYPE", "DEFAULT_BUCKETS", "parse_exposition",
+    "get_logger", "set_level", "set_stream",
+    "TRACE_HEADER", "current_trace_id", "is_valid_trace_id",
+    "new_trace_id", "trace_context",
+]

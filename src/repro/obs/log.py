@@ -1,0 +1,117 @@
+"""Structured JSON logging: one line per event, machine-parseable.
+
+:func:`get_logger` hands out cheap named loggers that emit::
+
+    {"ts": 1754500000.123456, "level": "info", "logger": "repro.service",
+     "event": "http_request", "trace_id": "9f2c...", ...fields}
+
+one JSON object per line, to a process-wide stream (``sys.stderr`` by
+default). The ``trace_id`` is read from the ambient
+:mod:`repro.obs.trace` context at emit time, so any code running under
+a request/job/campaign trace stamps its lines without threading the ID
+through call signatures.
+
+The module is intentionally global-state simple — a level threshold and
+an output stream — because that is exactly what the CLI needs
+(``--quiet`` is just a level) and what tests need (swap in a StringIO
+via :func:`set_stream`, restore after).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+from .trace import current_trace_id
+
+__all__ = ["StructuredLogger", "get_logger", "set_level", "get_level",
+           "set_stream", "LEVELS"]
+
+#: Level names to numeric thresholds (stdlib ``logging`` scale).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_state_lock = threading.Lock()
+# library default: warnings only — the ``serve`` CLI raises this to
+# "info" (or "warning" under --quiet), and tests pick their own level
+_level = LEVELS["warning"]
+_stream: TextIO | None = None       # None -> sys.stderr at emit time
+_loggers: dict[str, "StructuredLogger"] = {}
+
+
+def set_level(level: str | int) -> int:
+    """Set the global threshold; returns the previous numeric level."""
+    global _level
+    value = LEVELS[level] if isinstance(level, str) else int(level)
+    with _state_lock:
+        previous, _level = _level, value
+    return previous
+
+
+def get_level() -> int:
+    with _state_lock:
+        return _level
+
+
+def set_stream(stream: TextIO | None) -> TextIO | None:
+    """Redirect output (``None`` restores stderr); returns the previous
+    stream setting — tests swap in a StringIO and restore after."""
+    global _stream
+    with _state_lock:
+        previous, _stream = _stream, stream
+    return previous
+
+
+class StructuredLogger:
+    """A named emitter of structured JSON log lines."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level: str, event: str,
+              fields: dict[str, Any]) -> None:
+        if LEVELS[level] < get_level():
+            return
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6), "level": level,
+            "logger": self.name, "event": event,
+            "trace_id": current_trace_id(),
+        }
+        for key in sorted(fields):
+            record[key] = fields[key]
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with _state_lock:
+            stream = _stream if _stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:  # pragma: no cover - stream closed late
+                pass
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        self._emit(level, event, fields)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("error", event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) logger for ``name``."""
+    with _state_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger

@@ -1,0 +1,71 @@
+"""Trace-context propagation for the whole stack.
+
+One ``trace_id`` identifies a unit of work end to end: generated at the
+service's ``/v1`` front door (or wherever :func:`trace_context` is first
+entered), carried through the job store, the queue drainers and the
+engine via a :class:`contextvars.ContextVar`, shipped across process
+boundaries alongside the task payload (context variables do not cross
+``fork``/pickle), stamped into ``SolveReport.extra["trace_id"]`` and
+echoed back in every ``/v1`` response body and ``X-Trace-Id`` header.
+
+IDs are short hex tokens. Inbound IDs (the ``X-Trace-Id`` request
+header) are accepted only when they match :data:`_VALID` — anything
+else is replaced with a fresh ID so a hostile client cannot inject
+log/exposition content through the trace field.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import re
+import uuid
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["TRACE_HEADER", "new_trace_id", "current_trace_id",
+           "is_valid_trace_id", "set_trace_id", "reset_trace_id",
+           "trace_context"]
+
+#: The HTTP header the service reads (request) and writes (response).
+TRACE_HEADER = "X-Trace-Id"
+
+_VALID = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+_TRACE: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace ID."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace ID of the current context (``None`` outside any)."""
+    return _TRACE.get()
+
+
+def is_valid_trace_id(value: object) -> bool:
+    """Whether ``value`` is acceptable as an externally supplied ID."""
+    return isinstance(value, str) and bool(_VALID.match(value))
+
+
+def set_trace_id(trace_id: str | None) -> contextvars.Token:
+    """Install ``trace_id`` on the current context; pair with
+    :func:`reset_trace_id` (the server's per-request plumbing)."""
+    return _TRACE.set(trace_id)
+
+
+def reset_trace_id(token: contextvars.Token) -> None:
+    _TRACE.reset(token)
+
+
+@contextmanager
+def trace_context(trace_id: str | None = None) -> Iterator[str]:
+    """Run a block under one trace ID (a fresh one when not given)."""
+    tid = trace_id if trace_id else new_trace_id()
+    token = _TRACE.set(tid)
+    try:
+        yield tid
+    finally:
+        _TRACE.reset(token)

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 from ..core.instance import Instance
 from ..engine.report import SolveReport
 from ..io import instance_to_dict
+from ..obs.trace import TRACE_HEADER, current_trace_id
 
 if TYPE_CHECKING:    # pragma: no cover - typing only
     from ..api import SolveRequest
@@ -97,10 +98,16 @@ class ServiceClient:
 
     def _request(self, method: str, path: str, body: dict | None = None,
                  transport_timeout: float | None = None) -> Any:
+        headers = {"Content-Type": "application/json"}
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            # propagate the caller's ambient trace so server logs, the
+            # job row and the resulting reports all correlate with it
+            headers[TRACE_HEADER] = trace_id
         req = urllib.request.Request(
             self.base_url + self.api_prefix + path, method=method,
             data=json.dumps(body).encode() if body is not None else None,
-            headers={"Content-Type": "application/json"})
+            headers=headers)
         # GETs are idempotent, so a connection dropped under load is
         # safely retried; a POST is never resent (it could double-submit)
         attempts = self._RETRIES if method == "GET" else 1

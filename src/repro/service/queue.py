@@ -20,13 +20,32 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from typing import Any, Iterable, Mapping
 
 from ..api import BatchRequest, Session
 from ..core.instance import Instance
+from ..obs.log import get_logger
+from ..obs.metrics import REGISTRY
+from ..obs.trace import current_trace_id, trace_context
 from .store import JobRecord, JobStore, SqliteReportCache
 
 __all__ = ["JobQueue"]
+
+_log = get_logger("repro.service.queue")
+
+QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_queue_depth", "Jobs waiting in the queue (in-flight excluded).")
+JOBS_ACTIVE = REGISTRY.gauge(
+    "repro_jobs_active", "Jobs currently being solved by a drainer.")
+_JOBS_SUBMITTED = REGISTRY.counter(
+    "repro_jobs_submitted_total", "Jobs accepted into the queue.")
+JOBS_COMPLETED = REGISTRY.counter(
+    "repro_jobs_completed_total", "Jobs finished, by terminal status.",
+    labelnames=("status",))
+_DRAIN_SECONDS = REGISTRY.histogram(
+    "repro_job_drain_seconds",
+    "Wall time from claim to persisted result, per job.")
 
 
 class JobQueue:
@@ -89,6 +108,7 @@ class JobQueue:
             for job in recovered:
                 heapq.heappush(self._heap,
                                (-job.priority, next(self._seq), job.id))
+            QUEUE_DEPTH.set(len(self._heap))
             self._cv.notify_all()
         for k in range(self.drainers):
             t = threading.Thread(target=self._drain_loop, daemon=True,
@@ -125,10 +145,13 @@ class JobQueue:
         if timeout is None:
             timeout = self.default_timeout
         job = self.store.create_job(inst, algorithms, label=label,
-                                    priority=priority, timeout=timeout)
+                                    priority=priority, timeout=timeout,
+                                    trace_id=current_trace_id())
+        _JOBS_SUBMITTED.inc()
         with self._cv:
             heapq.heappush(self._heap, (-job.priority, next(self._seq),
                                         job.id))
+            QUEUE_DEPTH.set(len(self._heap))
             self._cv.notify()
         return job
 
@@ -153,23 +176,41 @@ class JobQueue:
                 if self._stopping:
                     return
                 _, _, job_id = heapq.heappop(self._heap)
+                QUEUE_DEPTH.set(len(self._heap))
                 self._active += 1
+                JOBS_ACTIVE.set(self._active)
             try:
                 self._run_job(job_id)
             finally:
                 with self._cv:
                     self._active -= 1
+                    JOBS_ACTIVE.set(self._active)
                     self._cv.notify_all()
 
     def _run_job(self, job_id: str) -> None:
         if not self.store.claim_job(job_id):
             return      # deleted, finished, or another drainer won the id
         job = self.store.get_job(job_id)
-        try:
-            reports = self._session.solve_batch(BatchRequest.create(
-                [(job.label or job_id, job.instance)], list(job.algorithms),
-                timeout=job.timeout))
-            self.store.finish_job(job_id, reports)
-        except Exception as exc:    # noqa: BLE001 — job fails, queue lives
-            self.store.finish_job(job_id, [],
-                                  error=f"{type(exc).__name__}: {exc}")
+        # re-enter the job's submission trace on this drainer thread
+        # (contextvars do not cross threads); jobs from a pre-trace
+        # database get a fresh ID so their reports are still correlated
+        with trace_context(job.trace_id):
+            t0 = time.monotonic()
+            _log.info("job_started", job_id=job_id,
+                      label=job.label, algorithms=len(job.algorithms))
+            error = ""
+            try:
+                reports = self._session.solve_batch(BatchRequest.create(
+                    [(job.label or job_id, job.instance)],
+                    list(job.algorithms), timeout=job.timeout))
+                self.store.finish_job(job_id, reports)
+            except Exception as exc:    # noqa: BLE001 — job fails, queue lives
+                error = f"{type(exc).__name__}: {exc}"
+                self.store.finish_job(job_id, [], error=error)
+            elapsed = time.monotonic() - t0
+            status = "failed" if error else "done"
+            JOBS_COMPLETED.inc(status=status)
+            _DRAIN_SECONDS.observe(elapsed)
+            _log.log("warning" if error else "info", "job_finished",
+                     job_id=job_id, status=status, error=error,
+                     wall_time_s=round(elapsed, 6))

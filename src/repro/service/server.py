@@ -15,6 +15,8 @@ The stable, versioned surface lives under ``/v1``::
                               content hash (cross-client cache view)
     GET  /v1/solvers          the solver registry, rendered to JSON
     GET  /v1/healthz          queue depth, job counts, cache hit rate
+    GET  /v1/metrics          Prometheus text exposition of the
+                              process-wide metrics registry
 
 Every ``/v1`` error is a uniform envelope::
 
@@ -54,6 +56,15 @@ service runs anywhere the package does. The HTTP layer is deliberately
 thin: every handler delegates to :class:`~repro.service.store.JobStore`
 / :class:`~repro.service.queue.JobQueue` (and, for synchronous solves,
 an in-process :class:`repro.api.Session`), which own all state.
+
+Observability: every request enters a trace context — the ``X-Trace-Id``
+header when the client sent a valid one, a fresh id otherwise. The id is
+echoed in the response header, injected into every ``/v1`` JSON body
+(``trace_id``), stored on submitted jobs, re-entered by the drainer that
+runs them, and stamped into each resulting ``SolveReport.extra`` — one
+id correlates the client call, the structured server/drainer log lines,
+and the persisted reports. Request counts and latencies land in the
+process-wide registry served at ``GET /v1/metrics``.
 """
 
 from __future__ import annotations
@@ -67,11 +78,17 @@ from typing import Any
 
 from ..api import Session, SolveRequest
 from ..core.errors import InfeasibleInstanceError, InvalidInstanceError
+from ..engine.cache import CACHE_HITS, CACHE_MISSES
 from ..engine.pool import shutdown_pool
 from ..io import instance_from_dict
+from ..obs.log import get_logger
+from ..obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.metrics import REGISTRY
+from ..obs.trace import (TRACE_HEADER, is_valid_trace_id, new_trace_id,
+                         reset_trace_id, set_trace_id)
 from ..registry import (NoMatchingSolverError, UnknownSolverError,
                         get_solver, list_solvers, suggest_solvers)
-from .queue import JobQueue
+from .queue import JOBS_ACTIVE, QUEUE_DEPTH, JobQueue
 from .store import JOB_STATUSES, JobStore
 
 __all__ = ["SchedulingService", "serve",
@@ -92,6 +109,34 @@ SYNC_SOLVE_MAX_JOBS = 512
 #: Jobs-per-page bounds for ``GET /v1/jobs``.
 DEFAULT_PAGE_LIMIT = 50
 MAX_PAGE_LIMIT = 500
+
+_log = get_logger("repro.service.server")
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total", "HTTP requests served, by normalized "
+    "route, method and status code.",
+    labelnames=("route", "method", "status"))
+_HTTP_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency by normalized route and method.",
+    labelnames=("route", "method"))
+
+#: Fixed GET routes; parameterized ones are normalized below so metric
+#: label cardinality stays bounded no matter what paths clients probe.
+_FIXED_ROUTES = {"/", "/healthz", "/solvers", "/jobs", "/metrics", "/solve"}
+
+
+def _route_label(sub: str) -> str:
+    if sub in _FIXED_ROUTES:
+        return sub
+    parts = sub.lstrip("/").split("/")
+    if parts[0] == "jobs" and len(parts) == 2:
+        return "/jobs/{id}"
+    if parts[0] == "jobs" and len(parts) == 3 and parts[2] == "reports":
+        return "/jobs/{id}/reports"
+    if parts[0] == "results" and len(parts) == 2:
+        return "/results/{digest}"
+    return "other"
 
 
 class _ApiError(Exception):
@@ -203,20 +248,26 @@ class _Handler(BaseHTTPRequestHandler):
     #: deprecation headers on every response.
     _v1 = True
     _successor = ""
+    _trace_id = ""
+    _status = 0
 
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
 
     def log_message(self, fmt: str, *args) -> None:
-        if not self.server.service.quiet:   # pragma: no cover - logging
-            super().log_message(fmt, *args)
+        # the stdlib access log is replaced by the structured
+        # ``http_request`` event emitted from _handle
+        pass
 
     def _send_payload(self, data: bytes, content_type: str,
                       status: int = 200) -> None:
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if self._trace_id:
+            self.send_header(TRACE_HEADER, self._trace_id)
         if not self._v1:
             self.send_header("Deprecation", "true")
             self.send_header("Link",
@@ -225,6 +276,11 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(data)
 
     def _send_json(self, payload: Any, status: int = 200) -> None:
+        if self._v1 and self._trace_id and isinstance(payload, dict) \
+                and not payload.get("trace_id"):
+            # every /v1 JSON body carries the request's trace id; a job
+            # dict that already has its own (submission-time) id keeps it
+            payload["trace_id"] = self._trace_id
         self._send_payload(json.dumps(payload, indent=2).encode() + b"\n",
                            "application/json", status)
 
@@ -294,31 +350,58 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
 
     def do_GET(self) -> None:       # noqa: N802 — http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:      # noqa: N802 — http.server API
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        """Per-request front door: enter the trace context (taken from a
+        valid ``X-Trace-Id`` header, freshly generated otherwise), route,
+        and record metrics plus one structured log line on the way out."""
+        t0 = time.monotonic()
         path, params = self._query()
         self._v1, sub = _split_version(path)
         self._successor = f"/{API_VERSION}{sub}"
+        header = self.headers.get(TRACE_HEADER) or ""
+        self._trace_id = header if is_valid_trace_id(header) \
+            else new_trace_id()
+        self._status = 0
+        token = set_trace_id(self._trace_id)
         try:
-            self._route_get(sub, params)
+            if method == "GET":
+                self._route_get(sub, params)
+            else:
+                self._route_post(path, sub)
         except _ApiError as exc:
             self._send_api_error(exc)
+        finally:
+            elapsed = time.monotonic() - t0
+            route = _route_label(sub)
+            status = self._status or 500    # no response sent = aborted
+            _HTTP_REQUESTS.inc(route=route, method=method,
+                               status=str(status))
+            _HTTP_SECONDS.observe(elapsed, route=route, method=method)
+            # --quiet demotes per-request chatter to debug level
+            _log.log("debug" if self.server.service.quiet else "info",
+                     "http_request", method=method, path=path, route=route,
+                     status=status, duration_s=round(elapsed, 6))
+            reset_trace_id(token)
 
-    def do_POST(self) -> None:      # noqa: N802 — http.server API
-        path, _ = self._query()
-        self._v1, sub = _split_version(path)
-        self._successor = f"/{API_VERSION}{sub}"
-        try:
-            raw = self._drain_body()
-            if sub == "/jobs":
-                return self._post_job(raw)
-            if sub == "/solve" and self._v1:
-                return self._post_solve(raw)
-            raise _ApiError(404, "not_found", f"no route for POST {path}")
-        except _ApiError as exc:
-            self._send_api_error(exc)
+    def _route_post(self, path: str, sub: str) -> None:
+        raw = self._drain_body()
+        if sub == "/jobs":
+            return self._post_job(raw)
+        if sub == "/solve" and self._v1:
+            return self._post_solve(raw)
+        raise _ApiError(404, "not_found", f"no route for POST {path}")
 
     def _route_get(self, sub: str, params: dict[str, str]) -> None:
         if sub == "/healthz":
             return self._send_json(self.server.service.health())
+        if sub == "/metrics" and self._v1:
+            return self._send_payload(REGISTRY.render().encode(),
+                                      METRICS_CONTENT_TYPE)
         if sub == "/solvers":
             return self._send_json(
                 {"solvers": [_solver_dict(s) for s in list_solvers()]})
@@ -486,18 +569,24 @@ class SchedulingService:
         return self._sync_session.solve(request)
 
     def health(self) -> dict:
-        cache = self.queue.cache
+        # health is a readout of the same registry /v1/metrics serves, so
+        # the two endpoints can never disagree; counters are process-wide
+        # and cumulative, gauges reflect the live queue
+        hits = CACHE_HITS.value(cache="service")
+        misses = CACHE_MISSES.value(cache="service")
+        lookups = hits + misses
         return {
             "status": "ok",
             "api_version": API_VERSION,
             "uptime_s": round(time.time() - self._started_at, 3),
-            "queue_depth": self.queue.depth(),
-            "active_jobs": self.queue.active(),
+            "queue_depth": int(QUEUE_DEPTH.value()),
+            "active_jobs": int(JOBS_ACTIVE.value()),
             "drainers": self.queue.drainers,
             "jobs": self.store.counts(),
-            "cache": {"entries": len(cache), "hits": cache.hits,
-                      "misses": cache.misses,
-                      "hit_rate": round(cache.hit_rate, 4)},
+            "cache": {"entries": len(self.queue.cache), "hits": int(hits),
+                      "misses": int(misses),
+                      "hit_rate": round(hits / lookups, 4) if lookups
+                      else 0.0},
         }
 
     def start(self) -> "SchedulingService":
@@ -522,8 +611,13 @@ class SchedulingService:
 def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,
           drainers: int = 2, engine_workers: int = 0,
           default_timeout: float | None = None,
-          quiet: bool = False) -> None:
-    """Run the service in the foreground until interrupted (CLI entry)."""
+          quiet: bool = False, log_level: str | None = None) -> None:
+    """Run the service in the foreground until interrupted (CLI entry).
+
+    ``--quiet`` is now just a log level: it selects ``warning`` where the
+    default is ``info``; an explicit ``log_level`` wins over both."""
+    from ..obs.log import set_level
+    set_level(log_level or ("warning" if quiet else "info"))
     svc = SchedulingService(db_path, host=host, port=port, drainers=drainers,
                             engine_workers=engine_workers,
                             default_timeout=default_timeout, quiet=quiet)

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from ..core.instance import Instance
+from ..engine.cache import CACHE_HITS, CACHE_MISSES
 from ..engine.report import SolveReport
 from ..io import instance_from_dict, instance_to_dict
 
@@ -55,7 +56,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     error           TEXT NOT NULL DEFAULT '',
     submitted_at    REAL NOT NULL,
     started_at      REAL,
-    finished_at     REAL
+    finished_at     REAL,
+    trace_id        TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
 
@@ -92,6 +94,7 @@ class JobRecord:
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
+    trace_id: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe summary (what ``GET /jobs/{id}`` returns)."""
@@ -101,7 +104,7 @@ class JobRecord:
             "algorithms": [[name, kwargs] for name, kwargs in self.algorithms],
             "timeout": self.timeout, "error": self.error,
             "submitted_at": self.submitted_at, "started_at": self.started_at,
-            "finished_at": self.finished_at,
+            "finished_at": self.finished_at, "trace_id": self.trace_id,
         }
 
 
@@ -115,7 +118,7 @@ def _row_to_record(row: sqlite3.Row) -> JobRecord:
                          for name, kwargs in json.loads(row["algorithms"])),
         timeout=row["timeout"], error=row["error"],
         submitted_at=row["submitted_at"], started_at=row["started_at"],
-        finished_at=row["finished_at"])
+        finished_at=row["finished_at"], trace_id=row["trace_id"])
 
 
 class JobStore:
@@ -130,7 +133,17 @@ class JobStore:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
+            self._migrate()
             self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing database up to the current schema.
+        Caller holds the lock; additive-column-only, so old and new
+        processes can share one file during a rolling restart."""
+        cols = {row["name"] for row in
+                self._conn.execute("PRAGMA table_info(jobs)")}
+        if "trace_id" not in cols:
+            self._conn.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
 
     def close(self) -> None:
         with self._lock:
@@ -143,7 +156,8 @@ class JobStore:
     def create_job(self, inst: Instance,
                    algorithms: Iterable[tuple[str, Mapping[str, Any]]],
                    *, label: str = "", priority: int = 0,
-                   timeout: float | None = None) -> JobRecord:
+                   timeout: float | None = None,
+                   trace_id: str | None = None) -> JobRecord:
         """Persist a new ``queued`` job and return its record."""
         job_id = uuid.uuid4().hex[:16]
         algos = tuple((name, dict(kwargs or {})) for name, kwargs in algorithms)
@@ -153,16 +167,18 @@ class JobStore:
         with self._lock:
             self._conn.execute(
                 "INSERT INTO jobs (id, status, priority, label, instance, "
-                "instance_digest, algorithms, timeout, submitted_at) "
-                "VALUES (?, 'queued', ?, ?, ?, ?, ?, ?, ?)",
+                "instance_digest, algorithms, timeout, submitted_at, "
+                "trace_id) VALUES (?, 'queued', ?, ?, ?, ?, ?, ?, ?, ?)",
                 (job_id, int(priority), label,
                  json.dumps(instance_to_dict(inst)), inst.digest(),
-                 json.dumps([[n, k] for n, k in algos]), timeout, now))
+                 json.dumps([[n, k] for n, k in algos]), timeout, now,
+                 trace_id))
             self._conn.commit()
         return JobRecord(id=job_id, status="queued", priority=int(priority),
                          label=label, instance=inst,
                          instance_digest=inst.digest(), algorithms=algos,
-                         timeout=timeout, submitted_at=now)
+                         timeout=timeout, submitted_at=now,
+                         trace_id=trace_id)
 
     def get_job(self, job_id: str) -> JobRecord | None:
         with self._lock:
@@ -326,6 +342,13 @@ class SqliteReportCache:
                 self.misses += 1
             else:
                 self.hits += 1
+        # mirrored into the process-global registry so /v1/healthz and
+        # /v1/metrics read the same numbers (label "service" keeps the
+        # SQLite results table distinct from the engine's ReportCache)
+        if rep is None:
+            CACHE_MISSES.inc(cache="service")
+        else:
+            CACHE_HITS.inc(cache="service")
         return rep
 
     def put(self, key: str, report: SolveReport) -> None:

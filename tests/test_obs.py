@@ -1,0 +1,232 @@
+"""Unit tests for the observability primitives: metrics, logs, traces.
+
+Everything here runs against *fresh* ``MetricsRegistry`` instances (not
+the process-global one the stack records into), so the assertions are
+exact rather than cumulative.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.log import LEVELS, get_logger, set_level, set_stream
+from repro.obs.metrics import (CONTENT_TYPE, Counter, Gauge, Histogram,
+                               MetricsRegistry, parse_exposition)
+from repro.obs.trace import (current_trace_id, is_valid_trace_id,
+                             new_trace_id, trace_context)
+
+
+class TestCounter:
+    def test_inc_value_total(self):
+        c = Counter("t_total", labelnames=("kind",))
+        assert c.value(kind="a") == 0.0            # untouched child reads 0
+        c.inc(kind="a")
+        c.inc(2.5, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == 3.5
+        assert c.total() == 4.5
+
+    def test_counters_only_go_up(self):
+        c = Counter("t_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_set_is_validated(self):
+        c = Counter("t_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc()                                # missing label
+        with pytest.raises(ValueError):
+            c.inc(kind="a", extra="b")             # unknown label
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("t_depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4.0
+
+
+class TestHistogramBucketMath:
+    def test_le_semantics_and_cumulative_counts(self):
+        h = Histogram("t_seconds", buckets=(1, 2, 4))
+        for v in (0.5, 1.0, 1.5, 2.0, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # le is <=: an observation equal to a bound lands in that bucket
+        assert snap["buckets"] == {"1": 2, "2": 4, "4": 4, "+Inf": 5}
+        assert snap["sum"] == 10.0
+        assert snap["count"] == 5
+
+    def test_buckets_are_sorted_and_required(self):
+        h = Histogram("t_seconds", buckets=(4, 1, 2))
+        assert h.buckets == (1.0, 2.0, 4.0)
+        with pytest.raises(ValueError):
+            Histogram("t_seconds", buckets=())
+
+    def test_rendered_buckets_are_cumulative(self):
+        h = Histogram("t_seconds", buckets=(1, 2))
+        h.observe(0.5)
+        h.observe(1.5)
+        lines = list(h.render_samples())
+        assert lines == ['t_seconds_bucket{le="1"} 1',
+                         't_seconds_bucket{le="2"} 2',
+                         't_seconds_bucket{le="+Inf"} 2',
+                         "t_seconds_sum 2",
+                         "t_seconds_count 2"]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "first help")
+        b = reg.counter("x_total")
+        assert a is b
+        assert b.help == "first help"
+
+    def test_kind_and_label_mismatches_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_render_parse_roundtrip_with_escapes(self):
+        reg = MetricsRegistry()
+        c = reg.counter("esc_total", "with \\ and\nnewline",
+                        labelnames=("path",))
+        c.inc(3, path='a"b\\c\nd')
+        g = reg.gauge("depth")
+        g.set(7)
+        h = reg.histogram("lat_seconds", buckets=(0.5, 1.0))
+        h.observe(0.25)
+        families, samples = parse_exposition(reg.render())
+        assert families == {"esc_total": "counter", "depth": "gauge",
+                            "lat_seconds": "histogram"}
+        assert samples[("esc_total",
+                        frozenset({("path", 'a"b\\c\nd')}))] == 3.0
+        assert samples[("depth", frozenset())] == 7.0
+        assert samples[("lat_seconds_bucket",
+                        frozenset({("le", "0.5")}))] == 1.0
+        assert samples[("lat_seconds_bucket",
+                        frozenset({("le", "+Inf")}))] == 1.0
+        assert samples[("lat_seconds_count", frozenset())] == 1.0
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("# TYPE x nonsense\n")
+        with pytest.raises(ValueError):
+            parse_exposition('x_total{path=unquoted} 1\n')
+        with pytest.raises(ValueError):
+            parse_exposition("x_total notanumber\n")
+
+    def test_content_type_pins_exposition_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_reset_keeps_families_drops_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.inc(9)
+        reg.reset()
+        assert reg.families() == ["x_total"]
+        assert c.value() == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        reg = MetricsRegistry()
+        c = reg.counter("race_total", labelnames=("who",))
+        h = reg.histogram("race_seconds", buckets=(0.5,))
+        n_threads, n_ops = 8, 1000
+
+        def spin(k):
+            for _ in range(n_ops):
+                c.inc(who=str(k % 2))
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=spin, args=(k,))
+                   for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.total() == n_threads * n_ops
+        assert h.snapshot()["count"] == n_threads * n_ops
+
+
+class TestTrace:
+    def test_no_ambient_trace_by_default(self):
+        assert current_trace_id() is None
+
+    def test_context_sets_and_restores(self):
+        with trace_context("abc-123") as tid:
+            assert tid == "abc-123"
+            assert current_trace_id() == "abc-123"
+            with trace_context() as inner:
+                assert inner != "abc-123"
+                assert current_trace_id() == inner
+            assert current_trace_id() == "abc-123"
+        assert current_trace_id() is None
+
+    def test_generated_ids_are_valid_and_distinct(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert a != b
+        assert is_valid_trace_id(a) and is_valid_trace_id(b)
+
+    def test_validation_rejects_junk(self):
+        assert not is_valid_trace_id("")
+        assert not is_valid_trace_id("has space")
+        assert not is_valid_trace_id("x" * 65)
+        assert not is_valid_trace_id('quote"breaks"logs')
+        assert is_valid_trace_id("Ok-1._2")
+
+
+class TestStructuredLog:
+    @pytest.fixture
+    def capture(self):
+        buf = io.StringIO()
+        prev_stream = set_stream(buf)
+        prev_level = set_level("debug")
+        yield buf
+        set_stream(prev_stream)
+        set_level(prev_level)
+
+    def test_line_schema(self, capture):
+        get_logger("repro.test").info("something_happened", a=1, b="two")
+        (line,) = capture.getvalue().splitlines()
+        rec = json.loads(line)
+        assert rec["level"] == "info"
+        assert rec["logger"] == "repro.test"
+        assert rec["event"] == "something_happened"
+        assert rec["trace_id"] is None
+        assert rec["a"] == 1 and rec["b"] == "two"
+        assert isinstance(rec["ts"], float)
+
+    def test_trace_id_stamped_from_ambient_context(self, capture):
+        with trace_context("trace-xyz"):
+            get_logger("repro.test").warning("oops")
+        rec = json.loads(capture.getvalue())
+        assert rec["trace_id"] == "trace-xyz"
+
+    def test_level_threshold_filters(self, capture):
+        set_level("warning")
+        log = get_logger("repro.test")
+        log.debug("hidden")
+        log.info("hidden")
+        log.error("shown")
+        lines = capture.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "shown"
+
+    def test_unserialisable_fields_fall_back_to_str(self, capture):
+        get_logger("repro.test").info("obj", thing=object())
+        rec = json.loads(capture.getvalue())
+        assert "object object" in rec["thing"]
+
+    def test_levels_map_matches_stdlib_scale(self):
+        assert LEVELS == {"debug": 10, "info": 20,
+                          "warning": 30, "error": 40}

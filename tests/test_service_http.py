@@ -216,6 +216,26 @@ class TestConcurrentLoad:
             cached = client.results_for_digest(instance.digest())
             assert len(cached) == 1 and cached[0].ok
 
+        # the metrics registry absorbed the same workload consistently —
+        # 50 client threads, the handler pool and both drainers all
+        # raced into it (counters are process-cumulative, hence >=)
+        from repro.obs.metrics import parse_exposition
+        raw = urllib.request.urlopen(f"{service.url}/v1/metrics").read()
+        _, samples = parse_exposition(raw.decode())
+
+        def total(name: str, **match: str) -> float:
+            want = set(match.items())
+            return sum(v for (n, labels), v in samples.items()
+                       if n == name and want <= set(labels))
+
+        assert total("repro_jobs_submitted_total") >= 50
+        assert total("repro_jobs_completed_total", status="done") >= 50
+        assert total("repro_job_drain_seconds_count") >= 50
+        assert total("repro_http_requests_total", route="/jobs",
+                     method="POST", status="201") >= 50
+        assert total("repro_cache_hits_total", cache="service") >= 10
+        assert samples[("repro_jobs_active", frozenset())] == 0
+
     def test_priority_orders_draining(self, tmp_path, inst):
         """Jobs submitted while the queue is paused drain high-priority
         first once a single drainer starts."""

@@ -159,3 +159,33 @@ class TestResultCache:
         assert len(cache) == 1
         # digest landed in the index column via report.instance_digest
         assert store.cached_reports_for_digest(inst.digest()) == [hit]
+
+
+class TestSchemaMigration:
+    def test_pre_trace_database_gains_trace_id_column(self, tmp_path, inst):
+        """A database created before the observability PR (no trace_id
+        column on jobs) must be migrated transparently on open."""
+        import sqlite3
+
+        db = tmp_path / "old.db"
+        store = JobStore(db)
+        job = store.create_job(inst, [("splittable", {})])
+        store.close()
+        # simulate the old schema
+        con = sqlite3.connect(db)
+        con.execute("ALTER TABLE jobs DROP COLUMN trace_id")
+        con.commit()
+        con.close()
+
+        store = JobStore(db)            # reopen: must ALTER, not crash
+        back = store.get_job(job.id)
+        assert back is not None and back.trace_id is None
+        fresh = store.create_job(inst, [("lpt", {})], trace_id="mig-test")
+        assert store.get_job(fresh.id).trace_id == "mig-test"
+        store.close()
+
+    def test_create_job_persists_trace_id(self, store, inst):
+        job = store.create_job(inst, [("splittable", {})],
+                               trace_id="abc123")
+        assert store.get_job(job.id).trace_id == "abc123"
+        assert store.get_job(job.id).to_dict()["trace_id"] == "abc123"
