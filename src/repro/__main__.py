@@ -113,15 +113,24 @@ def _resolve_algorithms(names: str, delta: int | None
 
 def _cmd_list(args: argparse.Namespace) -> int:
     specs = list_solvers(variant=args.variant, kind=args.kind)
+
+    def _thm1(s) -> str:
+        # Theorem-1 running-time scale of the n-fold program each
+        # nfold-* solver builds at the reference large-m shape
+        if not s.needs_nfold:
+            return "-"
+        from .nfold.registry_solvers import reference_theorem1_bound
+        return f"1e{reference_theorem1_bound(s.variant):.0f}"
+
     rows = [[s.name, s.variant, s.kind, s.ratio_label, s.theorem or "-",
-             "yes" if s.needs_milp else "no",
+             "yes" if s.needs_milp else "no", _thm1(s),
              ",".join(s.accepts) or "-",
              str(s.default_epsilon) if s.default_epsilon is not None
              else "-", s.summary]
             for s in specs]
     print(format_table(["name", "variant", "kind", "ratio", "theorem",
-                        "milp", "kwargs", "default eps", "summary"], rows,
-                       title=f"{len(rows)} registered solver(s)"))
+                        "milp", "thm1", "kwargs", "default eps", "summary"],
+                       rows, title=f"{len(rows)} registered solver(s)"))
     return 0
 
 
@@ -392,12 +401,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 raise SystemExit(f"error: {exc.args[0]}")
         if not solvers:
             raise SystemExit("error: no solvers given")
+    generators = None
+    if getattr(args, "generators", None):
+        generators = tuple(g.strip() for g in args.generators.split(",")
+                           if g.strip())
+        if not generators:
+            raise SystemExit("error: no generators given")
     session = Session(workers=args.workers or 0)
-    result = run_campaign(
-        seed=args.seed, count=args.count, solvers=solvers,
-        include_ptas=args.include_ptas, session=session,
-        time_budget=args.time_budget, shrink=not args.no_shrink,
-        progress=lambda line: print(line, file=sys.stderr))
+    try:
+        result = run_campaign(
+            seed=args.seed, count=args.count, solvers=solvers,
+            include_ptas=args.include_ptas, generators=generators,
+            session=session,
+            time_budget=args.time_budget, shrink=not args.no_shrink,
+            progress=lambda line: print(line, file=sys.stderr))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     budget_note = " (stopped at time budget)" if result.out_of_budget else ""
     print(f"fuzz: seed={args.seed} ran {result.cases_run} case(s) in "
           f"{result.elapsed_s:.1f}s{budget_note}: "
@@ -613,6 +632,9 @@ def build_parser() -> argparse.ArgumentParser:
     pz.add_argument("--include-ptas", action="store_true",
                     help="add the MILP-backed PTASes to the sweep "
                          "(slower)")
+    pz.add_argument("--generators",
+                    help="comma-separated generator families to draw "
+                         "cases from (default: all, weighted)")
     pz.add_argument("--time-budget", type=float, default=None,
                     help="stop the campaign after this many seconds")
     pz.add_argument("--workers", type=int, default=0,
@@ -628,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
     pf = sub.add_parser(
         "bench", help="run a perf suite and write BENCH_results.json")
     pf.add_argument("--suite", default="smoke",
-                    choices=("smoke", "kernel", "batch", "full"),
+                    choices=("smoke", "kernel", "nfold", "batch", "full"),
                     help="which bench suite to run (full = everything, "
                          "what the committed baseline is built from)")
     pf.add_argument("--repeats", type=int, default=5,

@@ -40,9 +40,10 @@ class SolverQuery:
     (accepts ``Fraction``, ``"7/3"``, or a number); ``epsilon`` asks for
     accuracy ``1 + epsilon`` (selecting a PTAS injects the epsilon into
     its kwargs at resolve time); ``allow_milp=False`` excludes the
-    SciPy/HiGHS-backed solvers; ``time_budget`` (seconds per run) rules
-    out kinds whose :data:`~repro.registry.KIND_COST_TIERS` tier
-    exceeds it.
+    SciPy/HiGHS-backed solvers; ``allow_nfold=False`` excludes the
+    n-fold-IP-backed solvers the same way; ``time_budget`` (seconds per
+    run) rules out kinds whose
+    :data:`~repro.registry.KIND_COST_TIERS` tier exceeds it.
     """
 
     variant: str | None = None
@@ -50,6 +51,7 @@ class SolverQuery:
     max_ratio: Fraction | None = None
     epsilon: float | None = None
     allow_milp: bool = True
+    allow_nfold: bool = True
     time_budget: float | None = None
 
     def __post_init__(self) -> None:
@@ -79,6 +81,7 @@ class SolverQuery:
         return {"variant": self.variant, "kind": self.kind,
                 "max_ratio": self.max_ratio, "epsilon": self.epsilon,
                 "allow_milp": self.allow_milp,
+                "allow_nfold": self.allow_nfold,
                 "time_budget": self.time_budget}
 
     def candidates(self, for_instance=None) -> list[SolverSpec]:
@@ -106,13 +109,15 @@ class SolverQuery:
                           else str(_frac_str(self.max_ratio))),
             "epsilon": self.epsilon,
             "allow_milp": self.allow_milp,
+            "allow_nfold": self.allow_nfold,
             "time_budget": self.time_budget,
         }
 
     @staticmethod
     def from_dict(d: Mapping[str, Any]) -> "SolverQuery":
         unknown = sorted(set(d) - {"variant", "kind", "max_ratio",
-                                   "epsilon", "allow_milp", "time_budget"})
+                                   "epsilon", "allow_milp", "allow_nfold",
+                                   "time_budget"})
         if unknown:
             raise ValueError(f"unknown query fields {unknown}")
         return SolverQuery(
@@ -122,6 +127,7 @@ class SolverQuery:
             epsilon=(None if d.get("epsilon") is None
                      else float(d["epsilon"])),
             allow_milp=bool(d.get("allow_milp", True)),
+            allow_nfold=bool(d.get("allow_nfold", True)),
             time_budget=(None if d.get("time_budget") is None
                          else float(d["time_budget"])))
 
@@ -132,7 +138,7 @@ class SolverQuery:
 
         Keys: ``variant``, ``kind``, ``max_ratio`` (alias ``ratio``),
         ``epsilon`` (alias ``eps``), ``budget`` (alias ``time_budget``),
-        and the bare flag ``no_milp``.
+        and the bare flags ``no_milp`` and ``no_nfold``.
         """
         fields: dict[str, Any] = {}
         for part in text.split(","):
@@ -144,6 +150,8 @@ class SolverQuery:
             value = value.strip()
             if key == "no_milp" and not value:
                 fields["allow_milp"] = False
+            elif key == "no_nfold" and not value:
+                fields["allow_nfold"] = False
             elif key in ("variant", "kind"):
                 fields[key] = value
             elif key in ("max_ratio", "ratio"):
@@ -155,6 +163,6 @@ class SolverQuery:
             else:
                 raise ValueError(
                     f"cannot parse query part {part!r}; expected "
-                    "variant=, kind=, max_ratio=, epsilon=, budget= "
-                    "or no_milp")
+                    "variant=, kind=, max_ratio=, epsilon=, budget=, "
+                    "no_milp or no_nfold")
         return SolverQuery(**fields)

@@ -137,6 +137,20 @@ def tight_budget(rng: np.random.Generator) -> Instance:
     return Instance(p, cls, m, c)
 
 
+def large_m_overlap(rng: np.random.Generator) -> Instance:
+    """Machine counts in 65..512 with small class structure: past the
+    ``milp-*`` machine cap (64) yet inside the ``nfold-*`` solvers'
+    class/slot caps — the regime the n-fold path exists for. Kept at
+    tiny ``n`` so per-case cost stays bounded even though every guess
+    builds and solves a block ILP."""
+    m = int(rng.integers(65, 513))
+    n = int(rng.integers(2, 7))
+    C = int(rng.integers(1, min(n, 3) + 1))
+    c = int(rng.integers(1, 3))
+    p = tuple(int(x) for x in rng.integers(1, 30, size=n))
+    return Instance(p, _classes(rng, n, C), m, c)
+
+
 def uniform_tiny(rng: np.random.Generator) -> Instance:
     """Unstructured tiny instances — the bread and butter the
     differential oracle checks against exact optima."""
@@ -156,6 +170,7 @@ GENERATORS = {
     "tight-budget": (tight_budget, 3),
     "heavy-tailed": (heavy_tailed, 2),
     "huge-m": (huge_m, 1),
+    "large-m-overlap": (large_m_overlap, 1),
 }
 
 _NAMES = list(GENERATORS)
@@ -163,7 +178,23 @@ _WEIGHTS = np.array([w for _, w in GENERATORS.values()], dtype=float)
 _WEIGHTS /= _WEIGHTS.sum()
 
 
-def draw_case(rng: np.random.Generator) -> FuzzCase:
-    """One weighted-random adversarial case (deterministic given rng)."""
-    name = _NAMES[int(rng.choice(len(_NAMES), p=_WEIGHTS))]
+def draw_case(rng: np.random.Generator,
+              only: tuple[str, ...] | None = None) -> FuzzCase:
+    """One weighted-random adversarial case (deterministic given rng).
+
+    ``only`` restricts the draw to the named generator families (relative
+    weights preserved) — how the nightly matrix dedicates a leg to one
+    regime, e.g. ``("large-m-overlap",)``.
+    """
+    if only is None:
+        names, weights = _NAMES, _WEIGHTS
+    else:
+        unknown = sorted(set(only) - set(GENERATORS))
+        if unknown:
+            raise ValueError(f"unknown generator(s) {unknown}; "
+                             f"known: {', '.join(GENERATORS)}")
+        names = [n for n in _NAMES if n in set(only)]
+        weights = np.array([GENERATORS[n][1] for n in names], dtype=float)
+        weights /= weights.sum()
+    name = names[int(rng.choice(len(names), p=weights))]
     return FuzzCase(name, GENERATORS[name][0](rng))

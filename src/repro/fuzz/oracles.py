@@ -64,7 +64,9 @@ FLOAT_TOL = 1e-6
 DEFAULT_SOLVERS = ("splittable", "preemptive", "nonpreemptive",
                    "milp-nonpreemptive", "milp-splittable",
                    "milp-preemptive", "brute-force",
-                   "lpt", "greedy", "ffd", "round-robin", "mcnaughton")
+                   "lpt", "greedy", "ffd", "round-robin", "mcnaughton",
+                   "nfold-splittable", "nfold-preemptive",
+                   "nfold-nonpreemptive")
 
 PTAS_SOLVERS = ("ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive")
 
@@ -78,7 +80,8 @@ PTAS_SOLVERS = ("ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive")
 #: such a tie.
 PERMUTATION_INVARIANT = frozenset(
     {"splittable", "preemptive", "nonpreemptive",
-     "round-robin", "mcnaughton", "brute-force"})
+     "round-robin", "mcnaughton", "brute-force",
+     "nfold-splittable", "nfold-preemptive", "nfold-nonpreemptive"})
 
 #: Makespan is invariant under a bijective relabeling of classes
 #: (solvers only ever test class *equality*, never class order; the
@@ -87,11 +90,16 @@ PERMUTATION_INVARIANT = frozenset(
 RELABEL_INVARIANT = PERMUTATION_INVARIANT | {"greedy", "lpt", "ffd"}
 
 #: Makespan scales exactly when every p_j is multiplied by k. The
-#: integral binary searches (``nonpreemptive``, ``ffd``) are excluded:
-#: their accepted guess for k*p may legitimately differ from k times the
-#: guess for p (the scaled grid is finer), changing the schedule.
+#: integral binary searches (``nonpreemptive``, ``ffd``,
+#: ``nfold-nonpreemptive``) are excluded: their accepted guess for k*p
+#: may legitimately differ from k times the guess for p (the scaled grid
+#: is finer), changing the schedule. The fractional n-fold searches
+#: qualify: their guess grids anchor at scale-equivariant warm bounds
+#: and the rounded IPs are built from size/budget *ratios*, so the
+#: accepted guess scales exactly.
 SCALING_EXACT = frozenset({"splittable", "preemptive", "lpt", "greedy",
-                           "round-robin", "mcnaughton", "brute-force"})
+                           "round-robin", "mcnaughton", "brute-force",
+                           "nfold-splittable", "nfold-preemptive"})
 
 #: The certified guess T (a lower bound that only improves with more
 #: machines) must be non-increasing in m.
@@ -147,6 +155,13 @@ def eligible_solvers(inst: Instance,
         if spec.needs_milp and not (inst.num_jobs <= 12
                                     and min(inst.machines,
                                             inst.num_jobs) <= 8):
+            continue
+        if spec.needs_nfold and not (inst.num_jobs <= 10
+                                     and inst.num_classes <= 3
+                                     and inst.class_slots <= 2):
+            # every guess builds + solves a block ILP whose size is
+            # exponential in (C, c); machine count is deliberately NOT
+            # bounded here — large m is the regime these solvers claim
             continue
         out.append(spec)
     return out
@@ -261,7 +276,10 @@ def _check_one_report(inst: Instance, spec: SolverSpec, rep: SolveReport,
         return bad("ok report without a makespan")
     schedule_producing = spec.name not in ("milp-nonpreemptive",
                                            "milp-splittable",
-                                           "milp-preemptive")
+                                           "milp-preemptive",
+                                           "nfold-splittable",
+                                           "nfold-preemptive",
+                                           "nfold-nonpreemptive")
     if schedule_producing and not rep.validated:
         return bad("ok schedule skipped the authoritative validator")
     if rep.guess is not None and spec.kind != "ptas":

@@ -110,6 +110,7 @@ def _shrink_violation(violation: Violation, specs_names, session
 
 def run_campaign(seed: int = 0, count: int = 100, *,
                  solvers=None, include_ptas: bool = False,
+                 generators=None,
                  session: Session | None = None,
                  time_budget: float | None = None,
                  shrink: bool = True,
@@ -120,13 +121,16 @@ def run_campaign(seed: int = 0, count: int = 100, *,
     fresh in-process one; pass ``Session(workers=4)`` to fuzz the
     process-pool fan-out). ``time_budget`` (seconds) stops the campaign
     early — whatever ran is still fully deterministic. ``solvers``
-    restricts the sweep to a subset of registry names.
+    restricts the sweep to a subset of registry names; ``generators``
+    restricts case drawing to the named generator families (how the
+    nightly matrix dedicates a leg to e.g. ``large-m-overlap``).
     """
     t0 = time.monotonic()
     session = session or Session()
     names = tuple(solvers) if solvers else DEFAULT_SOLVERS
     if include_ptas:
         names += tuple(s for s in PTAS_SOLVERS if s not in names)
+    only = tuple(generators) if generators else None
     result = FuzzResult(seed=seed)
     seen: set[tuple[str, str]] = set()
 
@@ -141,7 +145,7 @@ def run_campaign(seed: int = 0, count: int = 100, *,
                     and time.monotonic() - t0 > time_budget:
                 result.out_of_budget = True
                 break
-            case = draw_case(np.random.default_rng([seed, i]))
+            case = draw_case(np.random.default_rng([seed, i]), only=only)
             case_seed = _case_seed(seed, i)
             inst = case.instance
             specs = eligible_solvers(inst, names)

@@ -1,12 +1,13 @@
 """N-fold integer programming substrate (Section 2 of the paper)."""
 
-from .milp_backend import solve_milp
+from .milp_backend import milp_available, solve_milp
 from .solvers import augment, brick_solutions, kernel_candidates, solve_dp
 from .structure import NFold
 from .theory import NFoldParameters, parameters_of, theorem1_log10_bound
 
 __all__ = [
     "NFold",
+    "milp_available",
     "solve_milp",
     "solve_dp",
     "augment",

@@ -159,7 +159,8 @@ def kernel_candidates(B: np.ndarray, lower_brick: np.ndarray,
 
 
 def augment(nf: NFold, x0: np.ndarray, rho: int = 1,
-            max_rounds: int = 10_000) -> np.ndarray:
+            max_rounds: int = 10_000,
+            stats: dict | None = None) -> np.ndarray:
     """Graver-style best-step augmentation from a feasible point ``x0``.
 
     Each round searches for a step ``g`` with ``A g = 0`` (bricks drawn from
@@ -167,6 +168,11 @@ def augment(nf: NFold, x0: np.ndarray, rho: int = 1,
     the running global sum, which must return to zero) and a step length,
     taking the pair maximising the total improvement. Stops when no
     improving step exists.
+
+    ``stats``, when given, receives ``rounds`` (augmentation rounds run,
+    counting the final no-improvement round) and ``improvement`` (total
+    objective gain) — the observability hook the ``nfold-*`` registry
+    solvers feed into the augmentation-iterations histogram.
     """
     x = np.asarray(x0, dtype=np.int64).copy()
     if not nf.is_feasible(x):
@@ -176,9 +182,14 @@ def augment(nf: NFold, x0: np.ndarray, rho: int = 1,
                                nf.lower[i * t:(i + 1) * t],
                                nf.upper[i * t:(i + 1) * t], rho)
              for i in range(N)]
+    if stats is not None:
+        stats.setdefault("rounds", 0)
+        stats.setdefault("improvement", 0)
 
     spread = int((nf.upper - nf.lower).max()) if nf.num_variables else 0
     for _ in range(max_rounds):
+        if stats is not None:
+            stats["rounds"] += 1
         best_gain = 0
         best_step: np.ndarray | None = None
         # try step lengths lam = 1, 2, 4, ... (geometric; Graver-best style)
@@ -193,6 +204,8 @@ def augment(nf: NFold, x0: np.ndarray, rho: int = 1,
             lam *= 2
         if best_step is None or best_gain <= 0:
             return x
+        if stats is not None:
+            stats["improvement"] += best_gain
         x = x + best_step
         if not nf.is_feasible(x):  # pragma: no cover - defensive
             raise SolverError("augmentation produced an infeasible point")

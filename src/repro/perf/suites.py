@@ -31,6 +31,7 @@ import numpy as np
 from ..approx.borders import smallest_feasible_border
 from ..approx.splitting import split_classes
 from ..approx.splittable import solve_splittable
+from ..core.bounds import splittable_lower_bound
 from ..core.fastmath import use_fast_paths
 from ..core.instance import Instance, compute_digest
 from ..core.validation import validate_nonpreemptive
@@ -39,10 +40,12 @@ from ..engine.multicell import solve_many
 from ..engine.pool import shutdown_pool
 from ..engine.runner import execute
 from ..engine.shm import set_shm_enabled, shm_enabled
+from ..nfold import NFold, augment, solve_dp, solve_milp
 from ..ptas.configurations import (_build_space_cached, _enumerate_cached,
                                    build_configuration_space,
                                    configuration_cache_stats,
                                    splittable_modules)
+from ..ptas.nfold_builders import build_splittable_nfold
 from ..registry import get_solver
 from ..workloads import uniform_instance
 from .harness import (BenchResult, BenchRun, measure_calibration,
@@ -208,6 +211,119 @@ def bench_config_space(scale: str, repeats: int) -> BenchResult:
 
 
 # --------------------------------------------------------------------- #
+# n-fold substrate benches
+# --------------------------------------------------------------------- #
+
+#: The reference shape of the `repro list` Theorem-1 column, scaled up
+#: three machine orders for the full run — the IP dimensions are
+#: machine-count-free, so the two scales SHOULD cost about the same;
+#: that flatness is the property under regression watch.
+_NFOLD_MACHINES = {"smoke": 128, "full": 4096}
+
+
+def _nfold_instance(scale: str) -> Instance:
+    return Instance((7, 5, 4, 3, 3, 2), (0, 0, 1, 1, 2, 2),
+                    _NFOLD_MACHINES[scale], 2)
+
+
+def bench_nfold_build(scale: str, repeats: int) -> BenchResult:
+    """Building the splittable n-fold program with the configuration
+    space memoized (warm, the per-guess cost inside a search) against a
+    cold build that re-enumerates configurations."""
+    inst = _nfold_instance(scale)
+    T = splittable_lower_bound(inst)
+
+    def warm() -> None:
+        build_splittable_nfold(inst, T, 2)
+
+    def cold() -> None:
+        _build_space_cached.cache_clear()
+        _enumerate_cached.cache_clear()
+        build_splittable_nfold(inst, T, 2)
+
+    warm()                                      # prime the memo
+    med_warm, min_warm = time_callable(warm, repeats=repeats, number=5)
+    med_cold, min_cold = time_callable(cold, repeats=repeats)
+    return BenchResult(
+        name=f"kernel/nfold_build/m{inst.machines}",
+        median_s=med_warm, min_s=min_warm, repeats=repeats, number=5,
+        shape={"m": inst.machines, "n": inst.num_jobs,
+               "C": inst.num_classes, "c": inst.class_slots, "q": 2},
+        speedup=round(min_cold / min_warm, 3), reference_median_s=med_cold)
+
+
+def bench_nfold_solve(scale: str, repeats: int) -> BenchResult:
+    """End-to-end ``nfold-*`` registry solves (warm start + guess search
+    + per-guess ILP) at the reference shape — the trajectory canary for
+    the paper's machine-count-free path."""
+    inst = _nfold_instance(scale)
+    names = ("nfold-splittable", "nfold-preemptive", "nfold-nonpreemptive")
+
+    def body() -> None:
+        for name in names:
+            get_solver(name).solve(inst)
+
+    body()                                      # warm caches / lazy imports
+    med, mn = time_callable(body, repeats=repeats)
+    return BenchResult(
+        name=f"kernel/nfold_solve/m{inst.machines}",
+        median_s=med, min_s=mn, repeats=repeats, number=1,
+        shape={"m": inst.machines, "n": inst.num_jobs,
+               "C": inst.num_classes, "c": inst.class_slots,
+               "solvers": list(names)})
+
+
+def _tiny_nfold(bricks: int) -> NFold:
+    """A synthetic micro n-fold (r=1, s=1, t=3) both the brick DP and
+    HiGHS solve in microseconds — the apples-to-apples backend bench."""
+    A = [np.array([[1, 0, 0]], dtype=np.int64) for _ in range(bricks)]
+    B = [np.array([[1, 1, 1]], dtype=np.int64) for _ in range(bricks)]
+    b_global = np.array([bricks], dtype=np.int64)
+    b_local = [np.array([2], dtype=np.int64) for _ in range(bricks)]
+    lower = np.zeros(3 * bricks, dtype=np.int64)
+    upper = np.full(3 * bricks, 2, dtype=np.int64)
+    w = np.array([0, 1, 0] * bricks, dtype=np.int64)
+    return NFold(A, B, b_global, b_local, lower, upper, w)
+
+
+def bench_nfold_dp(scale: str, repeats: int) -> BenchResult:
+    """The structure-exploiting brick DP against HiGHS on the same micro
+    n-fold, plus one Graver augmentation descent from a deliberately
+    suboptimal feasible point (the augmentation-rounds histogram's
+    driver)."""
+    bricks = 4 if scale == "smoke" else 6
+    nf = _tiny_nfold(bricks)
+
+    def dp() -> None:
+        solve_dp(nf)
+
+    def milp() -> None:
+        solve_milp(nf)
+
+    dp()
+    med_dp, min_dp = time_callable(dp, repeats=repeats, number=3)
+    milp()
+    med_milp, min_milp = time_callable(milp, repeats=repeats, number=3)
+    # augmentation: half the bricks start on the costly middle column
+    x0 = np.array(sum(([2, 0, 0] if i < bricks // 2 else [0, 2, 0]
+                       for i in range(bricks)), []), dtype=np.int64)
+    stats: dict = {}
+    t0 = perf_counter()
+    augment(nf, x0, stats=stats)
+    aug_s = perf_counter() - t0
+    from ..nfold.registry_solvers import AUGMENT_ROUNDS
+    AUGMENT_ROUNDS.observe(stats["rounds"], algorithm="bench-nfold-dp")
+    return BenchResult(
+        name=f"kernel/nfold_dp/N{bricks}",
+        median_s=med_dp, min_s=min_dp, repeats=repeats, number=3,
+        shape={"bricks": bricks, "r": 1, "s": 1, "t": 3},
+        speedup=round(min_milp / min_dp, 3), reference_median_s=med_milp,
+        extra={"augment_rounds": stats["rounds"],
+               "augment_improvement": stats["improvement"],
+               "augment_s": round(aug_s, 6)})
+
+
+# --------------------------------------------------------------------- #
 # batch engine benches
 # --------------------------------------------------------------------- #
 
@@ -342,6 +458,7 @@ def bench_solver_suite(scale: str, repeats: int) -> BenchResult:
 _KERNEL_FAMILY = (bench_split_classes, bench_border_search, bench_digest,
                   bench_validate_nonpreemptive, bench_schedule_accounting,
                   bench_config_space)
+_NFOLD_FAMILY = (bench_nfold_build, bench_nfold_solve, bench_nfold_dp)
 _BATCH_FAMILY = (bench_batch_throughput, bench_batch_shm,
                  bench_multicell_kernels, bench_solver_suite)
 
@@ -349,8 +466,10 @@ SUITES: dict[str, tuple[tuple[Callable[[str, int], BenchResult], str], ...]]
 SUITES = {
     "smoke": tuple((f, "smoke")
                    for f in (bench_split_classes, bench_border_search,
-                             bench_digest, bench_batch_throughput)),
-    "kernel": tuple((f, "full") for f in _KERNEL_FAMILY),
+                             bench_digest, bench_batch_throughput,
+                             bench_nfold_solve)),
+    "kernel": tuple((f, "full") for f in _KERNEL_FAMILY + _NFOLD_FAMILY),
+    "nfold": tuple((f, "full") for f in _NFOLD_FAMILY),
     "batch": tuple((f, "full") for f in _BATCH_FAMILY),
 }
 SUITES["full"] = SUITES["kernel"] + SUITES["batch"] + SUITES["smoke"]

@@ -112,6 +112,12 @@ class SolverSpec:
     run: Callable[..., RawSolve]
     accepts: tuple[str, ...] = ()     # accepted keyword arguments
     needs_milp: bool = False          # pulls in the SciPy/HiGHS backend
+    #: Solves through the n-fold IP substrate (``repro.nfold``): a
+    #: warm-started guess search building one block ILP per guess. The
+    #: heavyweight path whose IP dimensions are machine-count-free —
+    #: ``allow_nfold=False`` opts a query out of it wholesale, the same
+    #: way ``allow_milp=False`` drops the SciPy/HiGHS-backed solvers.
+    needs_nfold: bool = False
     #: Accuracy a PTAS runs at when the caller names neither ``epsilon``
     #: nor ``delta``: ``spec.solve(inst)`` just works, at the coarse/fast
     #: end of the accuracy spectrum. ``None`` for non-PTAS solvers.
@@ -245,6 +251,7 @@ def effective_ratio(spec: SolverSpec,
 def find_solvers(*, variant: str | None = None, kind: str | None = None,
                  max_ratio: Fraction | str | int | float | None = None,
                  epsilon: float | None = None, allow_milp: bool = True,
+                 allow_nfold: bool = True,
                  time_budget: float | None = None,
                  instance: Instance | None = None) -> list[SolverSpec]:
     """Every registered solver satisfying the capability constraints,
@@ -256,7 +263,8 @@ def find_solvers(*, variant: str | None = None, kind: str | None = None,
     (PTASes qualify and will be run with that epsilon, exact solvers
     always qualify, constant-factor ones only when their ratio fits);
     ``allow_milp=False`` drops anything needing the SciPy/HiGHS backend;
-    ``time_budget`` (seconds per run) excludes kinds whose
+    ``allow_nfold=False`` drops the n-fold-IP-backed solvers the same
+    way; ``time_budget`` (seconds per run) excludes kinds whose
     :data:`KIND_COST_TIERS` tier exceeds it; ``instance`` drops solvers
     whose :meth:`SolverSpec.supports` predicate rejects that concrete
     instance (McNaughton on class-constrained inputs, MILPs past their
@@ -264,8 +272,8 @@ def find_solvers(*, variant: str | None = None, kind: str | None = None,
     back a solver that would immediately report ``unsupported``.
 
     Ranking: strongest proven guarantee first (unproven last), ties
-    broken by lighter dependencies (no MILP first) and then registration
-    order — so the result is deterministic.
+    broken by lighter dependencies (no MILP / n-fold machinery first)
+    and then registration order — so the result is deterministic.
     """
     if variant is not None and variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
@@ -286,6 +294,8 @@ def find_solvers(*, variant: str | None = None, kind: str | None = None,
             continue
         if not allow_milp and spec.needs_milp:
             continue
+        if not allow_nfold and spec.needs_nfold:
+            continue
         if time_budget is not None \
                 and KIND_COST_TIERS[spec.kind] > time_budget:
             continue
@@ -296,7 +306,7 @@ def find_solvers(*, variant: str | None = None, kind: str | None = None,
             continue
         rank = (0 if ratio is not None else 1,
                 ratio if ratio is not None else Fraction(0),
-                1 if spec.needs_milp else 0, order)
+                1 if (spec.needs_milp or spec.needs_nfold) else 0, order)
         out.append((rank, spec))
     out.sort(key=lambda pair: pair[0])
     return [spec for _, spec in out]
@@ -404,6 +414,19 @@ def _run_brute_force(inst: Instance) -> RawSolve:
     return RawSolve(sched, value)
 
 
+def _nfold_adapter(fn_name: str) -> Callable[..., RawSolve]:
+    """Lazy bridge into :mod:`repro.nfold.registry_solvers`.
+
+    The n-fold substrate package must not import the registry (it sits a
+    layer below), so the registry reaches the run functions by module
+    path at call time, mirroring :func:`_milp_adapter`.
+    """
+    def run(inst: Instance, **kwargs: object) -> RawSolve:
+        from .nfold import registry_solvers
+        return getattr(registry_solvers, fn_name)(inst, **kwargs)
+    return run
+
+
 # --------------------------------------------------------------------- #
 # capability predicates (lazy: probing them must not import SciPy)
 # --------------------------------------------------------------------- #
@@ -457,6 +480,39 @@ def _ptas_machine_cap_supports(module: str) -> Callable[[Instance], bool]:
 def _mcnaughton_supports(inst: Instance) -> bool:
     from .baselines.mcnaughton import mcnaughton_supported
     return mcnaughton_supported(inst)
+
+
+#: Caps for the ``nfold-*`` solvers. Their IP dimensions depend only on
+#: the class structure — ``m`` enters the program as a single right-hand
+#: side — so the machine cap is only the int64 safety bound of the
+#: builders, while classes and slots bound the block sizes that the
+#: config enumeration is exponential in.
+_NFOLD_CLASS_CAP = 12
+_NFOLD_SLOT_CAP = 3
+_NFOLD_MACHINE_CAP = 10**15
+
+
+def _nfold_supports(variant: str) -> Callable[[Instance], bool]:
+    """Capability predicate for the n-fold solvers.
+
+    The preemptive one short-circuits ``m >= n`` (closed form, no IP
+    ever built). Everything else needs the HiGHS backend for the
+    per-guess block ILPs plus small class structure: these solvers are
+    the path that stays live when ``m`` blows past every MILP/PTAS
+    machine cap, so the machine bound here is only int64 safety.
+    """
+    def check(inst: Instance) -> bool:
+        if variant == "preemptive" and inst.machines >= inst.num_jobs:
+            return True
+        if inst.num_classes > _NFOLD_CLASS_CAP:
+            return False
+        if inst.class_slots > _NFOLD_SLOT_CAP:
+            return False
+        if inst.machines > _NFOLD_MACHINE_CAP:
+            return False
+        from .nfold.milp_backend import milp_available
+        return milp_available()
+    return check
 
 
 # --------------------------------------------------------------------- #
@@ -565,3 +621,30 @@ register(SolverSpec(
     ratio=None, ratio_label="1 (if c >= C)", theorem="",
     summary="Wrap-around rule; optimal when classes never bind",
     run=_run_mcnaughton, supports_fn=_mcnaughton_supports))
+
+register(SolverSpec(
+    name="nfold-splittable", variant="splittable", kind="ptas",
+    ratio=None, ratio_label="1+eps", theorem="Theorem 1 / Section 4.1",
+    summary="Warm-started guess search over n-fold config ILPs",
+    run=_nfold_adapter("run_nfold_splittable"),
+    accepts=("epsilon", "delta"), needs_nfold=True,
+    default_epsilon=DEFAULT_PTAS_EPSILON,
+    supports_fn=_nfold_supports("splittable")))
+
+register(SolverSpec(
+    name="nfold-preemptive", variant="preemptive", kind="ptas",
+    ratio=None, ratio_label="1+eps", theorem="Theorem 1 / Section 4.1",
+    summary="N-fold splittable relaxation + wrap-around legalisation",
+    run=_nfold_adapter("run_nfold_preemptive"),
+    accepts=("epsilon", "delta"), needs_nfold=True,
+    default_epsilon=DEFAULT_PTAS_EPSILON,
+    supports_fn=_nfold_supports("preemptive")))
+
+register(SolverSpec(
+    name="nfold-nonpreemptive", variant="nonpreemptive", kind="ptas",
+    ratio=None, ratio_label="1+eps", theorem="Theorem 1 / Section 4.2",
+    summary="Integral guess search over n-fold slot/config ILPs",
+    run=_nfold_adapter("run_nfold_nonpreemptive"),
+    accepts=("epsilon", "delta"), needs_nfold=True,
+    default_epsilon=DEFAULT_PTAS_EPSILON,
+    supports_fn=_nfold_supports("nonpreemptive")))

@@ -224,6 +224,7 @@ def _solver_dict(spec) -> dict:
     return {"name": spec.name, "variant": spec.variant, "kind": spec.kind,
             "ratio": spec.ratio_label, "theorem": spec.theorem or None,
             "needs_milp": spec.needs_milp,
+            "needs_nfold": spec.needs_nfold,
             "accepts": list(spec.accepts), "summary": spec.summary,
             "default_epsilon": (None if spec.default_epsilon is None
                                 else str(spec.default_epsilon)),

@@ -1,0 +1,128 @@
+"""Theorem-1 parameter extraction and solver edge cases: enumeration
+caps, degenerate brick counts, and the augmentation stats hook."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CapacityExceededError, SolverError
+from repro.nfold import (NFold, augment, brick_solutions, kernel_candidates,
+                         parameters_of, solve_dp, theorem1_log10_bound)
+from repro.nfold.theory import NFoldParameters
+
+
+def simple_nfold(N=3, w=(1, 3)):
+    A = np.array([[1, 0]])
+    B = np.array([[1, 1]])
+    return NFold.uniform(A, B, N=N, b_global=[N], b_local=[2],
+                         lower=[0, 0], upper=[2, 2], w=list(w))
+
+
+def decomposed_nfold(N=3, w=(3, 1)):
+    """r = 0: independent bricks, so augmentation has real slack."""
+    A = np.zeros((0, 2), dtype=int)
+    B = np.array([[1, 1]])
+    return NFold.uniform(A, B, N=N, b_global=[], b_local=[2],
+                         lower=[0, 0], upper=[2, 2], w=list(w))
+
+
+class TestParametersOf:
+    def test_extracts_block_dimensions(self):
+        p = parameters_of(simple_nfold(N=4))
+        assert (p.N, p.r, p.s, p.t) == (4, 1, 1, 2)
+        assert p.delta == 1
+
+    def test_encoding_length_tracks_largest_entry(self):
+        small = parameters_of(simple_nfold())
+        big = NFold.uniform(np.array([[1, 0]]), np.array([[1, 1]]), N=3,
+                            b_global=[3], b_local=[2], lower=[0, 0],
+                            upper=[2, 2], w=[1, 10**9])
+        assert parameters_of(big).L > small.L
+        # L is the bit length of the largest absolute entry
+        assert parameters_of(big).L == (10**9).bit_length()
+
+    def test_bound_monotone_in_delta_and_blocks(self):
+        base = NFoldParameters(N=5, r=1, s=1, t=3, delta=2, L=4)
+        assert theorem1_log10_bound(base) < theorem1_log10_bound(
+            NFoldParameters(N=5, r=1, s=1, t=3, delta=50, L=4))
+        assert theorem1_log10_bound(base) < theorem1_log10_bound(
+            NFoldParameters(N=5, r=3, s=2, t=3, delta=2, L=4))
+
+    def test_bound_handles_degenerate_parameters(self):
+        # r = s = 0 blocks must not log(0); N*t below 2 must not log(<=0)
+        p = NFoldParameters(N=1, r=0, s=0, t=1, delta=0, L=1)
+        assert theorem1_log10_bound(p) == pytest.approx(
+            theorem1_log10_bound(NFoldParameters(N=1, r=1, s=1, t=1,
+                                                 delta=1, L=1)))
+
+
+class TestEnumerationCaps:
+    def test_brick_solutions_cap_exhaustion(self):
+        nf = simple_nfold()
+        with pytest.raises(CapacityExceededError):
+            brick_solutions(nf, 0, cap=1)   # 3 local solutions > 1
+
+    def test_kernel_candidates_cap_exhaustion(self):
+        B = np.zeros((0, 4), dtype=np.int64)    # every vector is a kernel
+        lo = np.zeros(4, dtype=np.int64)
+        hi = np.full(4, 2, dtype=np.int64)
+        with pytest.raises(CapacityExceededError):
+            kernel_candidates(B, lo, hi, rho=1, cap=10)
+
+    def test_dp_state_cap_exhaustion(self):
+        # r = 2 wide-box bricks: the running-sum state space explodes
+        A = np.array([[1, 0], [0, 1]])
+        B = np.zeros((0, 2), dtype=int)
+        nf = NFold.uniform(A, B, N=3,
+                           b_global=[30, 30],
+                           b_local=np.zeros((3, 0), dtype=int),
+                           lower=[0, 0], upper=[20, 20], w=[1, 1])
+        with pytest.raises(CapacityExceededError):
+            solve_dp(nf, state_cap=5)
+
+
+class TestDegenerateBricks:
+    def test_zero_solution_brick_is_infeasible(self):
+        # local row 1*x = 3 with x <= 2: brick 0 has NO local solution
+        A = np.array([[1]])
+        B = np.array([[1]])
+        nf = NFold.uniform(A, B, N=2, b_global=[1], b_local=[3],
+                           lower=[0], upper=[2], w=[0])
+        assert brick_solutions(nf, 0) == []
+        assert solve_dp(nf) is None
+
+    def test_unreachable_global_target_is_infeasible(self):
+        nf = NFold.uniform(np.array([[1, 0]]), np.array([[1, 1]]), N=2,
+                           b_global=[5],        # sum of x1 <= 4
+                           b_local=[2], lower=[0, 0], upper=[2, 2],
+                           w=[0, 0])
+        assert solve_dp(nf) is None
+
+
+class TestAugmentStats:
+    def test_requires_feasible_start(self):
+        nf = simple_nfold()
+        with pytest.raises(SolverError):
+            augment(nf, np.zeros(nf.num_variables, dtype=np.int64))
+
+    def test_stats_on_fixed_cost_program(self):
+        # cost is constant over the feasible set: one round, no gain
+        nf = simple_nfold(w=(3, 1))
+        x0 = np.array([1, 1, 1, 1, 1, 1], dtype=np.int64)
+        stats = {}
+        x = augment(nf, x0, stats=stats)
+        assert nf.is_feasible(x)
+        assert stats["rounds"] == 1
+        assert stats["improvement"] == 0
+
+    def test_stats_accumulate_total_improvement(self):
+        nf = decomposed_nfold(N=3, w=(3, 1))
+        x0 = np.array([2, 0] * 3, dtype=np.int64)       # cost 18
+        stats = {}
+        x = augment(nf, x0, stats=stats)
+        assert nf.objective(x) == 6                     # (0, 2) per brick
+        assert stats["improvement"] == 12
+        assert stats["rounds"] >= 2     # >=1 improving + final no-op round
+        # the optimum admits no further improvement
+        again = {}
+        assert np.array_equal(augment(nf, x, stats=again), x)
+        assert again == {"rounds": 1, "improvement": 0}

@@ -16,6 +16,7 @@ EXPECTED_NAMES = [
     "ptas-splittable", "ptas-preemptive", "ptas-nonpreemptive",
     "milp-nonpreemptive", "milp-splittable", "milp-preemptive",
     "brute-force", "lpt", "greedy", "ffd", "round-robin", "mcnaughton",
+    "nfold-splittable", "nfold-preemptive", "nfold-nonpreemptive",
 ]
 
 
@@ -80,7 +81,10 @@ class TestMetadata:
         for spec in list_solvers(kind="ptas"):
             assert spec.ratio is None
             assert spec.ratio_label == "1+eps"
-            assert spec.needs_milp
+            # every accuracy scheme leans on an LP/ILP substrate: the
+            # ptas-* family needs the MILP backend, the nfold-* family
+            # needs the n-fold machinery (which degrades to HiGHS)
+            assert spec.needs_milp or spec.needs_nfold
             assert "delta" in spec.accepts
 
     def test_baselines_have_no_guarantee(self):
@@ -186,6 +190,11 @@ class TestCapabilities:
             import importlib
             mod = importlib.import_module(f"repro.ptas.{module}")
             assert cap == mod.DEFAULT_MACHINE_CAP, module
+
+    def test_nfold_machine_cap_mirrors_solver_module(self):
+        from repro.nfold.registry_solvers import _MACHINE_CAP
+        from repro.registry import _NFOLD_MACHINE_CAP
+        assert _NFOLD_MACHINE_CAP == _MACHINE_CAP
 
     def test_instance_aware_selection_never_imports_scipy(self):
         # capability selection probes supports() on MILP candidates; on
