@@ -284,9 +284,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
     serve(args.db, host=args.host, port=args.port, drainers=args.drainers,
           engine_workers=args.engine_workers,
-          default_timeout=args.timeout, quiet=args.quiet,
+          default_timeout=args.timeout,
+          lease_seconds=args.lease_seconds or None,
+          max_attempts=args.max_attempts,
+          drain_grace=args.drain_grace, quiet=args.quiet,
           log_level=args.log_level)
     return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+    status = "quarantined" if args.quarantined else args.status
+    client = ServiceClient(args.url)
+    try:
+        page = client.jobs_page(status=status, limit=args.limit)
+    except (ServiceError, TimeoutError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+    rows = []
+    for job in page["jobs"]:
+        error = job.get("error", "")
+        if len(error) > 60:
+            error = error[:57] + "..."
+        rows.append([job["id"][:12], job["status"],
+                     f"{job.get('attempts', 0)}/"
+                     f"{job.get('max_attempts', '-')}",
+                     job.get("label", ""), error])
+    title = f"jobs ({status})" if status else "jobs"
+    print(format_table(["id", "status", "attempts", "label", "error"],
+                       rows, title=title))
+    shown = len(rows)
+    total = page.get("total", shown)
+    if total > shown:
+        print(f"(showing {shown} of {total}; use --limit)",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.chaos import DEFAULT_FAULTS, run_chaos
+    result = run_chaos(seed=args.seed, jobs=args.jobs,
+                       faults=args.faults or DEFAULT_FAULTS,
+                       url=args.url, drainers=args.drainers,
+                       engine_workers=args.engine_workers,
+                       lease_seconds=args.lease_seconds,
+                       max_attempts=args.max_attempts,
+                       deadline=args.deadline,
+                       progress=lambda m: print(m, file=sys.stderr))
+    print(json.dumps(result.to_dict(), indent=2))
+    verdict = "OK" if result.ok else "FAILED"
+    print(f"chaos {verdict}: {result.jobs} jobs, "
+          f"{len(result.quarantined)} quarantined, "
+          f"{len(result.failed)} failed, {len(result.stuck)} stuck, "
+          f"{len(result.mismatched)} mismatched, "
+          f"{result.retries} retries, {result.reclaims} reclaims, "
+          f"{result.rebuilds} pool rebuilds "
+          f"in {result.elapsed_s:.1f}s", file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -314,7 +367,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 # command — with enough context to debug it: the job's
                 # trace id (greps straight into the service's structured
                 # logs) and its queue/run timings, not a bare exit 1
-                if exc.code != "job_failed":
+                if exc.code not in ("job_failed", "job_quarantined"):
                     raise
                 failed_jobs.append(job_id)
                 job = client.job(job_id)
@@ -588,6 +641,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "the drainer thread)")
     pe.add_argument("--timeout", type=float, default=None,
                     help="default per-run timeout for jobs without one")
+    pe.add_argument("--lease-seconds", type=float, default=30.0,
+                    help="job lease length drainers hold and heartbeat "
+                         "(0 disables leases/retries/supervision)")
+    pe.add_argument("--max-attempts", type=int, default=None,
+                    help="attempts per job before quarantine "
+                         "(default: store default, 3)")
+    pe.add_argument("--drain-grace", type=float, default=10.0,
+                    help="seconds SIGTERM/SIGINT waits for in-flight "
+                         "jobs before releasing their leases")
     pe.add_argument("--quiet", action="store_true",
                     help="log warnings only (shorthand for "
                          "--log-level warning)")
@@ -596,6 +658,49 @@ def build_parser() -> argparse.ArgumentParser:
                     help="structured-log threshold; overrides --quiet "
                          "(default: info)")
     pe.set_defaults(func=_cmd_serve)
+
+    pj = sub.add_parser(
+        "jobs", help="list jobs on a running service")
+    pj.add_argument("--url", default="http://127.0.0.1:8080",
+                    help="base URL of a `repro serve` endpoint")
+    pj.add_argument("--status", default=None,
+                    choices=("queued", "running", "done", "failed",
+                             "quarantined"),
+                    help="only jobs in this status")
+    pj.add_argument("--quarantined", action="store_true",
+                    help="shorthand for --status quarantined")
+    pj.add_argument("--limit", type=int, default=50,
+                    help="page size (max 500)")
+    pj.set_defaults(func=_cmd_jobs)
+
+    ph = sub.add_parser(
+        "chaos", help="fault-injection campaign asserting the crash-safe "
+                      "job lifecycle (every job terminal, reports "
+                      "byte-identical to a clean run)")
+    ph.add_argument("--seed", type=int, default=7,
+                    help="campaign + fault-plan seed (deterministic)")
+    ph.add_argument("--jobs", type=int, default=50,
+                    help="jobs submitted in the campaign")
+    ph.add_argument("--faults", default=None,
+                    help="fault plan 'site:rate[:arg],...' (default: "
+                         "worker_kill + shm_attach + store_commit + "
+                         "drainer_loop, all >= 5%%)")
+    ph.add_argument("--url", default=None,
+                    help="run against this live service instead of "
+                         "booting a private one (its own REPRO_FAULTS "
+                         "env supplies the faults)")
+    ph.add_argument("--drainers", type=int, default=2,
+                    help="drainer threads of the private service")
+    ph.add_argument("--engine-workers", type=int, default=2,
+                    help="process fan-out of the private service")
+    ph.add_argument("--lease-seconds", type=float, default=2.0,
+                    help="lease length of the private service (short, "
+                         "so reclaims happen within the campaign)")
+    ph.add_argument("--max-attempts", type=int, default=5,
+                    help="attempts per job before quarantine")
+    ph.add_argument("--deadline", type=float, default=180.0,
+                    help="seconds before undrained jobs count as stuck")
+    ph.set_defaults(func=_cmd_chaos)
 
     pu = sub.add_parser(
         "submit", help="submit instances to a running service")

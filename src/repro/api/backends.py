@@ -197,14 +197,15 @@ class RemoteBackend:
         """Yield each instance's reports as its job finishes
         (completion order); a server-side job failure raises
         :class:`~repro.service.client.ServiceError` with
-        ``code="job_failed"``, exactly like ``ServiceClient.wait``."""
+        ``code="job_failed"`` (``"job_quarantined"`` for jobs that
+        exhausted their retries), exactly like ``ServiceClient.wait``."""
         pending = {job["id"] for job in self._submit(batch)}
         deadline = time.monotonic() + self.wait_timeout
         while pending:
             finished = []
             for job_id in pending:
                 job = self.client.job(job_id)
-                if job["status"] == "failed":
+                if job["status"] in ("failed", "quarantined"):
                     raise self.client.job_failure(job)
                 if job["status"] == "done":
                     finished.append(job_id)

@@ -32,6 +32,17 @@ try:
 except ImportError:      # no compiled core: pure-python fallbacks rule
     NATIVE = None
 
+if NATIVE is not None:
+    # fault site: a chaos plan can take the compiled core away from this
+    # process (e.g. a pool worker forked under REPRO_FAULTS), proving
+    # results stay byte-identical on the pure-python fallback
+    try:
+        from ..faults import injection as _injection
+        if _injection.should_fire("native_probe") is not None:
+            NATIVE = None
+    except ImportError:     # pragma: no cover - partial install
+        pass
+
 
 def native_available() -> bool:
     """Whether the compiled kernel core is importable and enabled."""

@@ -41,7 +41,8 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from ..obs.metrics import REGISTRY
 
 __all__ = ["get_pool", "submit_task", "pool_id", "pool_max_workers",
-           "shutdown_pool", "batch_begin", "batch_end", "active_batches"]
+           "rebuild_pool", "shutdown_pool", "batch_begin", "batch_end",
+           "active_batches"]
 
 _lock = threading.Lock()
 _pool: ProcessPoolExecutor | None = None
@@ -56,6 +57,9 @@ _POOL_TASKS = REGISTRY.counter(
     "process pool.")
 _POOL_BATCHES = REGISTRY.gauge(
     "repro_pool_batches_active", "Pooled batches currently in flight.")
+_POOL_REBUILDS = REGISTRY.counter(
+    "repro_pool_rebuilds_total",
+    "Shared-pool rebuilds after a worker death (BrokenProcessPool).")
 
 
 def _broken(pool: ProcessPoolExecutor) -> bool:
@@ -119,6 +123,27 @@ def submit_task(workers: int, fn, /, *args, **kwargs) -> Future:
     _POOL_TASKS.inc()
     with _lock:
         return _ensure(workers).submit(fn, *args, **kwargs)
+
+
+def rebuild_pool(workers: int) -> None:
+    """Replace a broken pool after a ``BrokenProcessPool``, at width
+    ``workers``. A no-op when the live pool is healthy: with several
+    batches in flight, every one of them sees the same
+    ``BrokenProcessPool`` and calls in — only the first may cancel and
+    rebuild, or it would cancel the fresh futures a sibling already
+    resubmitted (and a ``CancelledError`` escaping ``fut.result()``
+    kills the sibling's drainer thread)."""
+    global _pool
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    with _lock:
+        if _pool is not None and not _broken(_pool):
+            return
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+            _pool = None
+        _ensure(workers)
+        _POOL_REBUILDS.inc()
 
 
 def batch_begin() -> None:

@@ -35,6 +35,7 @@ import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -45,13 +46,14 @@ from ..core.errors import (CapacityExceededError, InfeasibleInstanceError,
 from ..core.fastmath import fast_paths_enabled
 from ..core.instance import Instance
 from ..core.validation import validate
+from ..faults import injection
 from ..obs.metrics import REGISTRY
 from ..obs.trace import current_trace_id, trace_context
 from ..registry import get_solver
 from . import shm
 from .cache import ReportCache, cache_key, is_cacheable, relabel_hit
 from .pool import (active_batches, batch_begin, batch_end, get_pool,
-                   pool_max_workers, submit_task)
+                   pool_max_workers, rebuild_pool, submit_task)
 from .report import SolveReport
 
 __all__ = ["run_batch", "execute", "execute_in_worker", "DEFAULT_WORKERS"]
@@ -254,6 +256,11 @@ def execute(inst: Instance, algorithm: str,
         return time.perf_counter() - t0
 
     def _solve_and_validate():
+        # inside the timed region on purpose: with a small timeout the
+        # injected delay exercises the timeout machinery end to end
+        delay = injection.should_fire("solve_delay")
+        if delay is not None:
+            time.sleep(delay.arg if delay.arg is not None else 0.05)
         raw = spec.solve(inst, **kwargs)
         if raw.schedule is not None:
             return raw, validate(inst, raw.schedule), True
@@ -290,6 +297,7 @@ def _execute_chunk(groups: list[tuple[Instance, list[tuple]]],
     ``trace_id`` rides along the same way: context variables do not
     cross the process boundary either.
     """
+    injection.maybe_kill_worker()
     from ..core.fastmath import use_fast_paths
     out: list[tuple[int, SolveReport]] = []
     with use_fast_paths(fast_paths), _maybe_trace(trace_id):
@@ -314,6 +322,7 @@ def _execute_chunk_shm(seg_name: str, index: dict, cells: list[tuple],
     cache, which makes repeated warm batches ship nothing) and solves
     the whole chunk through :func:`~repro.engine.multicell.solve_many`.
     """
+    injection.maybe_kill_worker()
     from ..core.fastmath import use_fast_paths
     from . import shm
     from .multicell import solve_many
@@ -333,6 +342,7 @@ def execute_in_worker(inst: Instance, name: str, kwargs: Mapping[str, Any],
     """:func:`execute` for pool submission: applies the shipped
     :mod:`repro.core.fastmath` switch and trace ID in the worker first
     (see :func:`_execute_chunk`)."""
+    injection.maybe_kill_worker()
     from ..core.fastmath import use_fast_paths
     with use_fast_paths(fast_paths), _maybe_trace(trace_id):
         return execute(inst, name, kwargs, label=label, timeout=timeout)
@@ -542,21 +552,18 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
             # along), and the workers' own registries are invisible here
             tid = current_trace_id()
             queue = iter(chunks)
-            live: set = set()
+            live: dict = {}     # Future -> chunk, for resubmission
 
-            def submit_next() -> None:
-                chunk = next(queue, None)
-                if chunk is None:
-                    return
+            def submit_chunk(chunk: list[int]) -> None:
                 _CHUNK_CELLS.observe(len(chunk))
                 if seg is not None:
                     cells = [(i, tasks[i][0], tasks[i][1].digest(),
                               tasks[i][2], tasks[i][3]) for i in chunk]
                     index = {d: seg.index[d]
                              for d in {c[2] for c in cells}}
-                    live.add(submit_task(width, _execute_chunk_shm,
-                                         seg.name, index, cells, timeout,
-                                         fast, tid))
+                    live[submit_task(width, _execute_chunk_shm,
+                                     seg.name, index, cells, timeout,
+                                     fast, tid)] = chunk
                     return
                 by_digest: dict[str, tuple[Instance, list[tuple]]] = {}
                 for i in chunk:
@@ -564,15 +571,45 @@ def run_batch(instances: Iterable[Instance | tuple[str, Instance]],
                     group = by_digest.setdefault(inst.digest(), (inst, []))
                     group[1].append((i, tasks[i][0], tasks[i][2],
                                      tasks[i][3], tasks[i][4]))
-                live.add(submit_task(width, _execute_chunk,
-                                     list(by_digest.values()), fast, tid))
+                live[submit_task(width, _execute_chunk,
+                                 list(by_digest.values()), fast, tid)] = chunk
+
+            def submit_next() -> None:
+                chunk = next(queue, None)
+                if chunk is not None:
+                    submit_chunk(chunk)
 
             for _ in range(width):
                 submit_next()
+            rebuilt = False
             while live:
-                done, live = wait(live, return_when=FIRST_COMPLETED)
+                done, _ = wait(set(live), return_when=FIRST_COMPLETED)
                 for fut in done:
-                    for i, rep in fut.result():
+                    chunk = live.pop(fut)
+                    try:
+                        results = fut.result()
+                    except BrokenProcessPool:
+                        # a worker died mid-chunk. Rebuild the shared
+                        # pool once per batch and resubmit everything
+                        # still outstanding (chunks whose futures also
+                        # broke are still in ``live`` — they ride
+                        # along); a second death in the same batch is a
+                        # real failure and propagates.
+                        if rebuilt:
+                            raise
+                        rebuilt = True
+                        outstanding = [chunk] + list(live.values())
+                        live.clear()
+                        rebuild_pool(width)
+                        # the dying worker cannot have unpinned anything
+                        # (segments are parent-owned), but reacquire
+                        # re-pins defensively in case a sibling's sweep
+                        # released the segment while the pool was down
+                        seg = shm.reacquire(seg, distinct)
+                        for ch in outstanding:
+                            submit_chunk(ch)
+                        break
+                    for i, rep in results:
                         reports[i] = rep
                         # worker-side observations died with the worker's
                         # registry; re-observe from the returned report

@@ -59,7 +59,7 @@ from ..obs.metrics import REGISTRY
 
 __all__ = ["pack_instances", "unpack_instance", "publish", "release",
            "release_all", "active_segments", "fetch_instance",
-           "acquire", "unpin", "shm_enabled", "set_shm_enabled",
+           "acquire", "reacquire", "unpin", "shm_enabled", "set_shm_enabled",
            "SegmentRef", "SEGMENT_PREFIX"]
 
 try:  # pragma: no cover - import guard exercised on exotic platforms
@@ -298,6 +298,18 @@ def acquire(instances: Mapping[str, Instance]) -> SegmentRef | None:
     return ref
 
 
+def reacquire(ref: SegmentRef | None,
+              instances: Mapping[str, Instance]) -> SegmentRef | None:
+    """Re-pin ``instances`` after a pool rebuild: drops ``ref``'s pin and
+    acquires afresh — usually the same live cached segment, or a newly
+    packed one if a sibling's sweep unlinked it while the pool was down.
+    ``None`` stays ``None`` (the batch was on pickle transport)."""
+    if ref is None:
+        return None
+    unpin(ref)
+    return acquire(instances)
+
+
 def unpin(ref: SegmentRef | None) -> None:
     """Drop one batch's pin on ``ref`` (no-op for ``None``). The segment
     stays alive in the reuse cache; it is unlinked only on eviction,
@@ -325,6 +337,8 @@ _decode_lock = threading.Lock()
 
 
 def _attach(name: str):
+    from ..faults import injection
+    injection.maybe_raise("shm_attach")
     # Attach WITHOUT touching the resource tracker. Python < 3.13
     # registers *attaching* processes with the tracker too, which is
     # wrong for us twice over: (a) a worker's private tracker would

@@ -1,0 +1,16 @@
+"""Deterministic fault injection and chaos campaigns.
+
+:mod:`repro.faults.injection` is the seeded site registry the engine,
+store and queue consult (activated via ``REPRO_FAULTS`` /
+``REPRO_FAULTS_SEED`` or :func:`~repro.faults.injection.configure`);
+:mod:`repro.faults.chaos` runs whole job campaigns under a plan and
+asserts the crash-safe lifecycle invariants (``repro chaos``).
+"""
+
+from .injection import (FaultInjected, FaultPlan, FaultRule, KNOWN_SITES,
+                        active_plan, configure, disabled, maybe_kill_worker,
+                        maybe_raise, parse_plan, reset, should_fire)
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultRule", "KNOWN_SITES",
+           "active_plan", "configure", "disabled", "maybe_kill_worker",
+           "maybe_raise", "parse_plan", "reset", "should_fire"]

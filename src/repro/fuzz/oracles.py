@@ -1,6 +1,6 @@
 """The fuzzer's oracles: what must *always* hold, for every instance.
 
-Five families, each cheap enough to run thousands of times:
+Six families, each cheap enough to run thousands of times:
 
 ``reports``
     Universal report invariants. A provably infeasible instance
@@ -33,12 +33,19 @@ Five families, each cheap enough to run thousands of times:
     integral binary searches of ``nonpreemptive``/``ffd`` are documented
     exceptions and excluded).
 
+``faults``
+    Crash-safety: the case replayed through a job queue under injected
+    ``store_commit``/``drainer_loop`` faults must end terminal (never
+    stuck) and, when it completes, with reports byte-identical to a
+    fault-free run — retries may never change exact Fraction results.
+
 Oracles return :class:`Violation` records (JSON-safe, shrinkable)
 instead of raising, so one campaign surfaces every distinct failure.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Mapping, Sequence
@@ -556,6 +563,94 @@ def metamorphic_oracle(inst: Instance, specs: Sequence[SolverSpec],
     return out
 
 
+# --------------------------------------------------------------------- #
+# oracle: retries under injected faults change nothing
+# --------------------------------------------------------------------- #
+
+def faults_oracle(inst: Instance, specs: Sequence[SolverSpec],
+                  session=None,
+                  rng: np.random.Generator | None = None
+                  ) -> list[Violation]:
+    """Replaying the instance through a faulting job queue must yield
+    reports byte-identical to a clean inline run.
+
+    Spins up an in-memory :class:`~repro.service.store.JobStore` +
+    :class:`~repro.service.queue.JobQueue` with a short lease and an
+    rng-seeded ``store_commit`` + ``drainer_loop`` fault plan, submits
+    the case, and lets supervision (reclaim, backoff, drainer respawn)
+    carry the job to a terminal state. A job that ends ``done`` must
+    match the fault-free reports exactly — a crashed-and-retried solve
+    may never change an exact Fraction result; quarantined/failed ends
+    are legitimate under injected faults. A job still non-terminal at
+    the deadline is the violation this oracle exists to catch.
+    """
+    from ..faults import injection
+    from ..service.queue import JobQueue
+    from ..service.store import TERMINAL_STATUSES, JobStore
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+    names = [spec.name for spec in specs
+             if not spec.needs_milp and not spec.needs_nfold
+             and spec.name != "brute-force"][:3]
+    if not names or not inst.is_feasible():
+        return []
+
+    def canon(rep: SolveReport) -> dict:
+        d = _stripped(rep)
+        d.pop("cached", None)   # a retry may hit the cache a prior
+        return d                # attempt filled; the clean run cannot
+
+    with injection.disabled():
+        clean = [canon(execute(inst, name, label="faults"))
+                 for name in names]
+
+    seed = int(rng.integers(2 ** 31))
+    prev = injection.configure("store_commit:0.4,drainer_loop:0.25",
+                               seed=seed)
+    store = JobStore(":memory:")
+    queue = JobQueue(store, drainers=1, lease_seconds=0.2,
+                     reclaim_interval=0.02, retry_backoff_base=0.01,
+                     retry_backoff_cap=0.05, max_attempts=8)
+    out: list[Violation] = []
+    try:
+        queue.start()
+        job = queue.submit(inst, [(n, {}) for n in names], label="faults")
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            rec = store.get_job(job.id)
+            if rec.status in TERMINAL_STATUSES:
+                break
+            time.sleep(0.01)
+        else:
+            rec = store.get_job(job.id)
+        if rec.status not in TERMINAL_STATUSES:
+            out.append(Violation(
+                "faults", names[0],
+                f"job stuck {rec.status!r} after 30s under injected "
+                f"faults (attempts {rec.attempts}/{rec.max_attempts})",
+                inst, {"seed": seed, "status": rec.status}))
+        elif rec.status == "done":
+            got = [canon(rep) for rep in store.reports_for(job.id)]
+            for name, g, c in zip(names, got, clean):
+                if g != c:
+                    diff = {k: (g.get(k), c.get(k))
+                            for k in set(g) | set(c)
+                            if g.get(k) != c.get(k)}
+                    out.append(Violation(
+                        "faults", name,
+                        f"retried report diverges from the clean run on "
+                        f"{sorted(diff)}", inst,
+                        {"seed": seed,
+                         "diff": {k: [repr(a), repr(b)]
+                                  for k, (a, b) in diff.items()}}))
+        # quarantined/failed: legitimate under a 40% commit-fault plan
+    finally:
+        queue.stop(wait=True, grace=5.0)
+        injection.configure(prev)
+        store.close()
+    return out
+
+
 #: Oracle registry: what ``repro fuzz``, the corpus replayer and the
 #: tests dispatch through. Metamorphic sub-relations share one entry —
 #: a corpus case recorded under any ``metamorphic-*`` name replays the
@@ -566,6 +661,7 @@ ORACLES: dict[str, Callable[..., list[Violation]]] = {
     "fastpath": fastpath_oracle,
     "batch": batch_oracle,
     "metamorphic": metamorphic_oracle,
+    "faults": faults_oracle,
 }
 
 

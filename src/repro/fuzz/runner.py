@@ -30,8 +30,8 @@ from ..obs.trace import trace_context
 from .generators import draw_case
 from .oracles import (DEFAULT_SOLVERS, ORACLES, PTAS_SOLVERS, Violation,
                       _run_reports, batch_oracle, differential_oracle,
-                      eligible_solvers, fastpath_oracle, metamorphic_oracle,
-                      reports_oracle)
+                      eligible_solvers, fastpath_oracle, faults_oracle,
+                      metamorphic_oracle, reports_oracle)
 from .shrinker import shrink_instance
 
 __all__ = ["FuzzResult", "run_campaign"]
@@ -39,6 +39,10 @@ __all__ = ["FuzzResult", "run_campaign"]
 #: Cases above these sizes skip the double-run oracles (fastpath and
 #: metamorphic re-solve everything 2-5x).
 _DOUBLE_RUN_MAX_JOBS = 64
+
+#: The faults oracle spins up a private store+queue and replays the case
+#: under injected faults — expensive, so only every Nth small case.
+_FAULTS_EVERY = 5
 
 _log = get_logger("repro.fuzz")
 
@@ -170,6 +174,8 @@ def run_campaign(seed: int = 0, count: int = 100, *,
                 found += batch_oracle(inst, fast_specs, session, rng())
                 found += metamorphic_oracle(inst, specs, session, rng(),
                                             reports=reports)
+                if i % _FAULTS_EVERY == 0 and inst.num_jobs <= 32:
+                    found += faults_oracle(inst, fast_specs, session, rng())
             found = [replace(v, seed=case_seed) for v in found]
 
             result.cases_run += 1

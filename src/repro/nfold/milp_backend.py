@@ -34,6 +34,12 @@ _BACKEND_ERROR: str | None = None
 
 def _load_backend() -> tuple:
     global _BACKEND, _BACKEND_ERROR
+    from ..faults import injection
+    if injection.should_fire("milp_probe") is not None:
+        # fault site: the backend flakes for this one solve — maps to the
+        # ``unsupported`` report status, like a container without scipy
+        raise UnsupportedInstanceError(
+            "N-fold MILP backend unavailable: injected fault (milp_probe)")
     if _BACKEND is None and _BACKEND_ERROR is None:
         try:
             from scipy.optimize import Bounds, LinearConstraint, milp

@@ -24,7 +24,9 @@ as deprecated aliases (see :mod:`repro.service.server`).
 from .client import ServiceClient, ServiceError
 from .queue import JobQueue
 from .server import SchedulingService, serve
-from .store import JobRecord, JobStore, SqliteReportCache
+from .store import (JOB_STATUSES, TERMINAL_STATUSES, JobRecord, JobStore,
+                    SqliteReportCache)
 
 __all__ = ["JobStore", "JobRecord", "SqliteReportCache", "JobQueue",
-           "SchedulingService", "serve", "ServiceClient", "ServiceError"]
+           "SchedulingService", "serve", "ServiceClient", "ServiceError",
+           "JOB_STATUSES", "TERMINAL_STATUSES"]

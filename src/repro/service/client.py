@@ -24,6 +24,7 @@ routes and curl examples in the README).
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -94,7 +95,18 @@ class ServiceClient:
     #: Transient connection failures retried for idempotent requests.
     _RETRIABLE = (ConnectionResetError, ConnectionRefusedError,
                   ConnectionAbortedError)
-    _RETRIES = 3
+    _RETRIES = 4
+    _RETRY_BASE = 0.05
+    _RETRY_CAP = 2.0
+    _RETRY_AFTER_CAP = 30.0
+
+    @classmethod
+    def _backoff_delay(cls, attempt: int) -> float:
+        """Full-jitter exponential backoff: attempt ``k`` (0-based) waits
+        ``uniform(0, min(cap, base * 2**k))`` — fixed linear sleeps
+        resynchronize a thundering herd; jitter spreads it out."""
+        return random.uniform(0.0, min(cls._RETRY_CAP,
+                                       cls._RETRY_BASE * 2 ** attempt))
 
     def _request(self, method: str, path: str, body: dict | None = None,
                  transport_timeout: float | None = None) -> Any:
@@ -108,8 +120,9 @@ class ServiceClient:
             self.base_url + self.api_prefix + path, method=method,
             data=json.dumps(body).encode() if body is not None else None,
             headers=headers)
-        # GETs are idempotent, so a connection dropped under load is
-        # safely retried; a POST is never resent (it could double-submit)
+        # GETs are idempotent, so a connection dropped under load — or a
+        # 503 from an overloaded/draining server — is safely retried with
+        # exponential backoff; a POST is never resent (double-submit)
         attempts = self._RETRIES if method == "GET" else 1
         for attempt in range(attempts):
             try:
@@ -122,15 +135,27 @@ class ServiceClient:
                     payload = json.loads(exc.read())
                 except (json.JSONDecodeError, ValueError):
                     payload = {"error": str(exc.reason)}
+                if exc.code == 503 and attempt < attempts - 1 \
+                        and method == "GET":
+                    # honor Retry-After when the server names a delay
+                    retry_after = exc.headers.get("Retry-After") \
+                        if exc.headers is not None else None
+                    try:
+                        delay = min(float(retry_after),
+                                    self._RETRY_AFTER_CAP)
+                    except (TypeError, ValueError):
+                        delay = self._backoff_delay(attempt)
+                    time.sleep(delay)
+                    continue
                 raise _decode_error(exc.code, payload) from None
             except self._RETRIABLE:
                 if attempt == attempts - 1:
                     raise
-                time.sleep(0.05 * (attempt + 1))
+                time.sleep(self._backoff_delay(attempt))
             except urllib.error.URLError as exc:
                 if isinstance(exc.reason, self._RETRIABLE) \
                         and attempt < attempts - 1:
-                    time.sleep(0.05 * (attempt + 1))
+                    time.sleep(self._backoff_delay(attempt))
                 else:
                     raise
 
@@ -216,28 +241,39 @@ class ServiceClient:
 
     @staticmethod
     def job_failure(job: Mapping[str, Any]) -> ServiceError:
-        """The one way a failed job becomes an exception — ``wait`` and
-        the remote Session backend must agree on ``code=\"job_failed\"``."""
-        return ServiceError(500, f"job {job['id']} failed: "
-                                 f"{job.get('error', '')}",
-                            code="job_failed")
+        """The one way a terminally unsuccessful job becomes an exception
+        — ``wait`` and the remote Session backend must agree on
+        ``code=\"job_failed\"`` (``\"job_quarantined\"`` for jobs that
+        exhausted their retry attempts)."""
+        status = job.get("status", "failed")
+        return ServiceError(
+            500, f"job {job['id']} {status}: {job.get('error', '')}",
+            code=("job_quarantined" if status == "quarantined"
+                  else "job_failed"))
 
     def wait(self, job_id: str, *, timeout: float = 60.0,
-             poll: float = 0.05) -> list[SolveReport]:
+             poll: float = 0.05, poll_max: float = 1.0) -> list[SolveReport]:
         """Poll until the job finishes; return its reports.
 
-        Raises :class:`TimeoutError` if the job is still pending after
-        ``timeout`` seconds, and :class:`ServiceError` (status 500) if
-        the job itself failed server-side.
+        The poll interval starts at ``poll`` and backs off geometrically
+        (with jitter) up to ``poll_max``, so long jobs are not hammered
+        at submission cadence. Raises :class:`TimeoutError` if the job
+        is still pending after ``timeout`` seconds, and
+        :class:`ServiceError` (status 500) if the job itself failed or
+        was quarantined server-side.
         """
         deadline = time.monotonic() + timeout
+        interval = poll
         while True:
             job = self.job(job_id)
             if job["status"] == "done":
                 return self.reports(job_id)
-            if job["status"] == "failed":
+            if job["status"] in ("failed", "quarantined"):
                 raise self.job_failure(job)
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {job['status']} after {timeout}s")
-            time.sleep(poll)
+            time.sleep(min(random.uniform(interval * 0.5, interval),
+                           max(0.0, deadline - now)))
+            interval = min(interval * 1.6, poll_max)

@@ -496,7 +496,7 @@ class _Handler(BaseHTTPRequestHandler):
         job = store.get_job(job_id)
         if job is None:
             raise _ApiError(404, "not_found", f"no job {job_id!r}")
-        if job.status not in ("done", "failed"):
+        if job.status not in ("done", "failed", "quarantined"):
             raise _ApiError(
                 409, "not_ready",
                 f"job {job_id} is {job.status}; reports are available "
@@ -538,11 +538,15 @@ class SchedulingService:
                  port: int = 8080, drainers: int = 2,
                  engine_workers: int = 0,
                  default_timeout: float | None = None,
+                 lease_seconds: float | None = 30.0,
+                 max_attempts: int | None = None,
                  quiet: bool = True) -> None:
         self.store = JobStore(db_path)
         self.queue = JobQueue(self.store, drainers=drainers,
                               engine_workers=engine_workers,
-                              default_timeout=default_timeout)
+                              default_timeout=default_timeout,
+                              lease_seconds=lease_seconds,
+                              max_attempts=max_attempts)
         # synchronous /v1/solve runs inline on the handler thread; no
         # shared cache so want_schedule requests always carry their
         # schedule instead of a cache-stripped report
@@ -555,6 +559,7 @@ class SchedulingService:
         self._thread: threading.Thread | None = None
         self._started_at = time.time()
         self.recovered = 0
+        self.released = 0
 
     @property
     def url(self) -> str:
@@ -597,12 +602,17 @@ class SchedulingService:
         self._thread.start()
         return self
 
-    def shutdown(self) -> None:
+    def shutdown(self, *, drain_grace: float | None = None) -> None:
+        """Stop serving. The HTTP front door closes first (no new work),
+        then the queue drains: without ``drain_grace``, until every
+        in-flight job finishes; with it, at most that many seconds — the
+        leases of jobs still running are then released back to the store
+        untouched, for the next start (or another node) to pick up."""
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join()
-        self.queue.stop(wait=True)
+        self.released = self.queue.stop(wait=True, grace=drain_grace)
         self.store.close()
         # release the engine's shared process pool the drainers fanned out
         # over; it is rebuilt lazily if this process runs more batches
@@ -612,24 +622,54 @@ class SchedulingService:
 def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,
           drainers: int = 2, engine_workers: int = 0,
           default_timeout: float | None = None,
+          lease_seconds: float | None = 30.0,
+          max_attempts: int | None = None,
+          drain_grace: float = 10.0,
           quiet: bool = False, log_level: str | None = None) -> None:
     """Run the service in the foreground until interrupted (CLI entry).
 
     ``--quiet`` is now just a log level: it selects ``warning`` where the
-    default is ``info``; an explicit ``log_level`` wins over both."""
+    default is ``info``; an explicit ``log_level`` wins over both.
+
+    SIGTERM and SIGINT both shut down gracefully: the HTTP listener
+    closes (no new submissions), in-flight jobs get up to
+    ``drain_grace`` seconds to finish, leases that cannot are released
+    back to the store, and the process exits 0."""
+    import signal as _signal
+
     from ..obs.log import set_level
     set_level(log_level or ("warning" if quiet else "info"))
     svc = SchedulingService(db_path, host=host, port=port, drainers=drainers,
                             engine_workers=engine_workers,
-                            default_timeout=default_timeout, quiet=quiet)
+                            default_timeout=default_timeout,
+                            lease_seconds=lease_seconds,
+                            max_attempts=max_attempts, quiet=quiet)
     svc.start()
     print(f"repro service listening on {svc.url}/{API_VERSION}  "
           f"(db={db_path}, drainers={drainers}, "
           f"recovered {svc.recovered} job(s))", flush=True)
+    stop = threading.Event()
+    previous = {}
     try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            previous[sig] = _signal.signal(
+                sig, lambda signum, frame: stop.set())
+    except (ValueError, OSError):   # pragma: no cover - non-main thread
+        pass
+    try:
+        while not stop.wait(0.5):
+            pass
+        print(f"shutting down (draining up to {drain_grace:g}s)",
+              flush=True)
+    except KeyboardInterrupt:       # signal handlers not installed
         print("shutting down", flush=True)
     finally:
-        svc.shutdown()
+        for sig, handler in previous.items():
+            try:
+                _signal.signal(sig, handler)
+            except (ValueError, OSError):   # pragma: no cover
+                pass
+        svc.shutdown(drain_grace=drain_grace)
+        if svc.released:
+            print(f"released {svc.released} unfinished lease(s)",
+                  flush=True)

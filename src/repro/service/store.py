@@ -29,19 +29,30 @@ import sqlite3
 import threading
 import time
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterable, Mapping
 
 from ..core.instance import Instance
 from ..engine.cache import CACHE_HITS, CACHE_MISSES
 from ..engine.report import SolveReport
+from ..faults import injection
 from ..io import instance_from_dict, instance_to_dict
 
-__all__ = ["JobStore", "JobRecord", "SqliteReportCache", "JOB_STATUSES"]
+__all__ = ["JobStore", "JobRecord", "SqliteReportCache", "JOB_STATUSES",
+           "TERMINAL_STATUSES", "DEFAULT_MAX_ATTEMPTS"]
 
 #: Lifecycle of a job. ``queued`` and ``running`` survive restarts as
-#: ``queued``; ``done`` and ``failed`` are terminal.
-JOB_STATUSES = ("queued", "running", "done", "failed")
+#: ``queued`` (until their attempts run out); ``done``, ``failed`` and
+#: ``quarantined`` are terminal. ``quarantined`` is where a job lands
+#: after exhausting ``max_attempts`` — repeatedly crashing work must
+#: neither loop forever nor masquerade as an ordinary failure.
+JOB_STATUSES = ("queued", "running", "done", "failed", "quarantined")
+
+#: The statuses a job can never leave.
+TERMINAL_STATUSES = ("done", "failed", "quarantined")
+
+#: Attempts a job gets before quarantine, unless overridden per job.
+DEFAULT_MAX_ATTEMPTS = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -57,7 +68,11 @@ CREATE TABLE IF NOT EXISTS jobs (
     submitted_at    REAL NOT NULL,
     started_at      REAL,
     finished_at     REAL,
-    trace_id        TEXT
+    trace_id        TEXT,
+    lease_expires_at REAL,
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL DEFAULT 3,
+    next_attempt_at REAL
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
 
@@ -95,6 +110,10 @@ class JobRecord:
     started_at: float | None = None
     finished_at: float | None = None
     trace_id: str | None = None
+    lease_expires_at: float | None = None
+    attempts: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    next_attempt_at: float | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe summary (what ``GET /jobs/{id}`` returns)."""
@@ -105,6 +124,9 @@ class JobRecord:
             "timeout": self.timeout, "error": self.error,
             "submitted_at": self.submitted_at, "started_at": self.started_at,
             "finished_at": self.finished_at, "trace_id": self.trace_id,
+            "lease_expires_at": self.lease_expires_at,
+            "attempts": self.attempts, "max_attempts": self.max_attempts,
+            "next_attempt_at": self.next_attempt_at,
         }
 
 
@@ -118,7 +140,10 @@ def _row_to_record(row: sqlite3.Row) -> JobRecord:
                          for name, kwargs in json.loads(row["algorithms"])),
         timeout=row["timeout"], error=row["error"],
         submitted_at=row["submitted_at"], started_at=row["started_at"],
-        finished_at=row["finished_at"], trace_id=row["trace_id"])
+        finished_at=row["finished_at"], trace_id=row["trace_id"],
+        lease_expires_at=row["lease_expires_at"],
+        attempts=row["attempts"], max_attempts=row["max_attempts"],
+        next_attempt_at=row["next_attempt_at"])
 
 
 class JobStore:
@@ -144,6 +169,15 @@ class JobStore:
                 self._conn.execute("PRAGMA table_info(jobs)")}
         if "trace_id" not in cols:
             self._conn.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
+        for name, decl in (
+                ("lease_expires_at", "REAL"),
+                ("attempts", "INTEGER NOT NULL DEFAULT 0"),
+                ("max_attempts",
+                 f"INTEGER NOT NULL DEFAULT {DEFAULT_MAX_ATTEMPTS}"),
+                ("next_attempt_at", "REAL")):
+            if name not in cols:
+                self._conn.execute(
+                    f"ALTER TABLE jobs ADD COLUMN {name} {decl}")
 
     def close(self) -> None:
         with self._lock:
@@ -157,28 +191,32 @@ class JobStore:
                    algorithms: Iterable[tuple[str, Mapping[str, Any]]],
                    *, label: str = "", priority: int = 0,
                    timeout: float | None = None,
-                   trace_id: str | None = None) -> JobRecord:
+                   trace_id: str | None = None,
+                   max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> JobRecord:
         """Persist a new ``queued`` job and return its record."""
         job_id = uuid.uuid4().hex[:16]
         algos = tuple((name, dict(kwargs or {})) for name, kwargs in algorithms)
         if not algos:
             raise ValueError("a job needs at least one algorithm")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         now = time.time()
         with self._lock:
             self._conn.execute(
                 "INSERT INTO jobs (id, status, priority, label, instance, "
                 "instance_digest, algorithms, timeout, submitted_at, "
-                "trace_id) VALUES (?, 'queued', ?, ?, ?, ?, ?, ?, ?, ?)",
+                "trace_id, max_attempts) "
+                "VALUES (?, 'queued', ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (job_id, int(priority), label,
                  json.dumps(instance_to_dict(inst)), inst.digest(),
                  json.dumps([[n, k] for n, k in algos]), timeout, now,
-                 trace_id))
+                 trace_id, int(max_attempts)))
             self._conn.commit()
         return JobRecord(id=job_id, status="queued", priority=int(priority),
                          label=label, instance=inst,
                          instance_digest=inst.digest(), algorithms=algos,
                          timeout=timeout, submitted_at=now,
-                         trace_id=trace_id)
+                         trace_id=trace_id, max_attempts=int(max_attempts))
 
     def get_job(self, job_id: str) -> JobRecord | None:
         with self._lock:
@@ -214,33 +252,144 @@ class JobStore:
             (n,) = self._conn.execute(q, params).fetchone()
         return n
 
-    def claim_job(self, job_id: str) -> bool:
-        """Atomically flip one ``queued`` job to ``running``.
+    def claim_job(self, job_id: str,
+                  lease_seconds: float | None = None) -> bool:
+        """Atomically flip one ``queued`` job to ``running``, counting the
+        attempt and (when ``lease_seconds`` is given) stamping a lease.
 
-        Returns False when the job is gone or already claimed — the
-        queue can hold duplicate ids (e.g. a job both submitted live and
-        re-enqueued by recovery), and exactly one drainer must win."""
+        Returns False when the job is gone, already claimed, or parked
+        behind its retry backoff (``next_attempt_at`` in the future) —
+        the queue can hold duplicate ids (e.g. a job both submitted live
+        and re-enqueued by recovery), and exactly one drainer must win.
+        A claim without a lease never expires — the legacy single-node
+        behaviour, recovered only by a restart."""
+        now = time.time()
+        lease = now + lease_seconds if lease_seconds else None
         with self._lock:
             cur = self._conn.execute(
-                "UPDATE jobs SET status='running', started_at=? "
-                "WHERE id=? AND status='queued'", (time.time(), job_id))
+                "UPDATE jobs SET status='running', started_at=?, "
+                "lease_expires_at=?, attempts=attempts+1 "
+                "WHERE id=? AND status='queued' "
+                "AND (next_attempt_at IS NULL OR next_attempt_at<=?)",
+                (now, lease, job_id, now))
             self._conn.commit()
             return cur.rowcount == 1
 
+    def heartbeat(self, job_id: str, lease_seconds: float) -> bool:
+        """Extend a ``running`` job's lease; False when the job is no
+        longer running (finished, or reclaimed out from under us)."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET lease_expires_at=? "
+                "WHERE id=? AND status='running'",
+                (time.time() + lease_seconds, job_id))
+            self._conn.commit()
+            return cur.rowcount == 1
+
+    def requeue_job(self, job_id: str, *, error: str = "",
+                    delay: float = 0.0) -> bool:
+        """Put a ``running`` job back in line after a retryable failure,
+        due again ``delay`` seconds from now. The attempt stays counted."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET status='queued', started_at=NULL, "
+                "lease_expires_at=NULL, next_attempt_at=?, error=? "
+                "WHERE id=? AND status='running'",
+                (time.time() + max(0.0, delay), error, job_id))
+            self._conn.commit()
+            return cur.rowcount == 1
+
+    def release_lease(self, job_id: str) -> bool:
+        """Hand a ``running`` job back untouched — graceful shutdown's
+        path for work it cannot finish in its drain grace. Unlike
+        :meth:`requeue_job` the attempt is *refunded*: the job was not
+        at fault, and an orderly restart must not eat its retry budget."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET status='queued', started_at=NULL, "
+                "lease_expires_at=NULL, next_attempt_at=NULL, "
+                "attempts=CASE WHEN attempts>0 THEN attempts-1 ELSE 0 END "
+                "WHERE id=? AND status='running'", (job_id,))
+            self._conn.commit()
+            return cur.rowcount == 1
+
+    def quarantine_job(self, job_id: str, error: str) -> bool:
+        """Terminally park a ``running`` job that exhausted its attempts."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET status='quarantined', error=?, "
+                "finished_at=?, lease_expires_at=NULL "
+                "WHERE id=? AND status='running'",
+                (error, time.time(), job_id))
+            self._conn.commit()
+            return cur.rowcount == 1
+
+    def reclaim_expired(self, backoff) -> tuple[list[JobRecord],
+                                                list[JobRecord]]:
+        """Sweep ``running`` jobs whose lease expired (their drainer died
+        or hung past its heartbeat): requeue those with attempts left —
+        due after ``backoff(attempts)`` seconds — and quarantine the
+        rest. Returns ``(requeued, quarantined)`` records with their
+        post-sweep fields, so the caller can re-index and log them."""
+        now = time.time()
+        requeued: list[JobRecord] = []
+        quarantined: list[JobRecord] = []
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE status='running' "
+                "AND lease_expires_at IS NOT NULL "
+                "AND lease_expires_at<=?", (now,)).fetchall()
+            for row in rows:
+                rec = _row_to_record(row)
+                note = (f"lease expired mid-run (attempt "
+                        f"{rec.attempts}/{rec.max_attempts})")
+                if rec.error:
+                    note += f"; last error: {rec.error}"
+                if rec.attempts >= rec.max_attempts:
+                    self._conn.execute(
+                        "UPDATE jobs SET status='quarantined', error=?, "
+                        "finished_at=?, lease_expires_at=NULL WHERE id=?",
+                        (note, now, rec.id))
+                    quarantined.append(replace(
+                        rec, status="quarantined", error=note,
+                        finished_at=now, lease_expires_at=None))
+                else:
+                    due = now + max(0.0, float(backoff(rec.attempts)))
+                    self._conn.execute(
+                        "UPDATE jobs SET status='queued', started_at=NULL, "
+                        "lease_expires_at=NULL, next_attempt_at=?, error=? "
+                        "WHERE id=?", (due, note, rec.id))
+                    requeued.append(replace(
+                        rec, status="queued", error=note, started_at=None,
+                        lease_expires_at=None, next_attempt_at=due))
+            self._conn.commit()
+        return requeued, quarantined
+
     def finish_job(self, job_id: str, reports: Iterable[SolveReport],
-                   *, error: str = "") -> None:
-        """Store a job's reports and flip it to ``done`` (or ``failed``)."""
+                   *, error: str = "") -> bool:
+        """Store a job's reports and flip it to ``done`` (or ``failed``).
+
+        The flip is conditional on the job still being ``running``:
+        returns False — storing nothing — when it is not, so a drainer
+        whose lease was reclaimed mid-run cannot clobber the outcome of
+        the retry that superseded it."""
+        injection.maybe_raise("store_commit")
         status = "failed" if error else "done"
         with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET status=?, error=?, finished_at=?, "
+                "lease_expires_at=NULL WHERE id=? AND status='running'",
+                (status, error, time.time(), job_id))
+            if cur.rowcount != 1:
+                self._conn.rollback()
+                return False
             self._conn.execute("DELETE FROM reports WHERE job_id=?", (job_id,))
             self._conn.executemany(
                 "INSERT INTO reports (job_id, seq, report) VALUES (?, ?, ?)",
                 [(job_id, seq, json.dumps(rep.to_dict()))
                  for seq, rep in enumerate(reports)])
-            self._conn.execute(
-                "UPDATE jobs SET status=?, error=?, finished_at=? WHERE id=?",
-                (status, error, time.time(), job_id))
             self._conn.commit()
+        return True
 
     def reports_for(self, job_id: str) -> list[SolveReport]:
         with self._lock:
@@ -250,15 +399,29 @@ class JobStore:
         return [SolveReport.from_dict(json.loads(r["report"])) for r in rows]
 
     def recover_incomplete(self) -> list[JobRecord]:
-        """Flip ``running`` leftovers back to ``queued`` and return every
-        job the queue must pick up again, oldest submission first — so a
+        """Flip ``running`` leftovers back to ``queued`` — except those
+        already out of attempts, which are quarantined — and return every
+        job the queue must pick up again, oldest submission first, so a
         restart preserves FIFO order within a priority level. Call once
         at server start: a crash mid-solve must not strand work in
-        ``running`` forever."""
+        ``running`` forever. Recovery clears any retry backoff: the new
+        process starts with a clean slate."""
+        now = time.time()
         with self._lock:
             self._conn.execute(
-                "UPDATE jobs SET status='queued', started_at=NULL "
+                "UPDATE jobs SET status='quarantined', finished_at=?, "
+                "lease_expires_at=NULL, "
+                "error='process died mid-run with no attempts left "
+                "(attempts ' || attempts || '/' || max_attempts || ')' "
+                "WHERE status='running' AND attempts>=max_attempts",
+                (now,))
+            self._conn.execute(
+                "UPDATE jobs SET status='queued', started_at=NULL, "
+                "lease_expires_at=NULL, next_attempt_at=NULL "
                 "WHERE status='running'")
+            self._conn.execute(
+                "UPDATE jobs SET next_attempt_at=NULL "
+                "WHERE status='queued'")
             self._conn.commit()
             rows = self._conn.execute(
                 "SELECT * FROM jobs WHERE status='queued' "

@@ -1,0 +1,66 @@
+"""End-to-end chaos campaigns (small, test-sized) and their helpers."""
+
+import pytest
+
+from repro.engine.runner import execute
+from repro.faults import injection
+from repro.faults.chaos import (CHAOS_ALGOS, campaign_instances,
+                                canonical_report, run_chaos)
+
+
+@pytest.fixture(autouse=True)
+def _no_faults():
+    injection.reset()
+    yield
+    injection.reset()
+
+
+class TestHelpers:
+    def test_campaign_instances_deterministic(self):
+        a = campaign_instances(7, 3)
+        b = campaign_instances(7, 3)
+        assert [label for label, _ in a] == ["chaos-0", "chaos-1", "chaos-2"]
+        assert a == b
+        c = campaign_instances(8, 3)
+        assert [i for _, i in a] != [i for _, i in c]
+
+    def test_canonical_report_strips_volatile_fields(self):
+        label, inst = campaign_instances(1, 1)[0]
+        rep = execute(inst, CHAOS_ALGOS[0], label=label)
+        d = canonical_report(rep)
+        assert "wall_time_s" not in d and "cached" not in d
+        assert "trace_id" not in (d.get("extra") or {})
+        assert d["makespan"] == rep.to_dict()["makespan"]
+        # identical modulo the stripped fields across re-solves
+        assert d == canonical_report(execute(inst, CHAOS_ALGOS[0],
+                                             label=label))
+
+
+class TestCampaign:
+    def test_fault_free_campaign_is_clean(self):
+        result = run_chaos(seed=3, jobs=3, faults="", engine_workers=0,
+                           drainers=2, lease_seconds=5.0, deadline=60.0)
+        assert result.ok
+        assert result.counts["done"] == 3
+        assert not result.quarantined and not result.failed
+        assert not result.mismatched and not result.stuck
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_faulty_campaign_keeps_invariants(self):
+        # heavy store/drainer faults: jobs may retry or quarantine, but
+        # nothing sticks and every done job matches the fault-free run
+        result = run_chaos(seed=7, jobs=6,
+                           faults="store_commit:0.3,drainer_loop:0.2",
+                           engine_workers=0, drainers=2,
+                           lease_seconds=0.5, max_attempts=6,
+                           deadline=120.0)
+        assert result.ok
+        assert not result.stuck and not result.mismatched
+        assert result.counts["running"] == 0
+        assert sum(result.counts.values()) == 6
+        terminal = (result.counts["done"] + result.counts["failed"]
+                    + result.counts["quarantined"])
+        assert terminal == 6
+        data = result.to_dict()
+        assert data["ok"] is True and data["jobs"] == 6

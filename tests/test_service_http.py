@@ -66,8 +66,8 @@ class TestHTTPBasics:
     def test_healthz_counts_and_cache_stats(self, client, inst):
         health = client.health()
         assert health["status"] == "ok"
-        assert health["jobs"] == {"queued": 0, "running": 0,
-                                  "done": 0, "failed": 0}
+        assert health["jobs"] == {"queued": 0, "running": 0, "done": 0,
+                                  "failed": 0, "quarantined": 0}
         client.wait(client.submit(inst, ["splittable"])["id"])
         client.wait(client.submit(inst, ["splittable"])["id"])
         health = client.health()
@@ -156,8 +156,8 @@ class TestRestartSurvival:
         for jid in ids:
             (rep,) = c2.wait(jid)
             assert rep.ok and rep.makespan is not None
-        assert c2.health()["jobs"] == {"queued": 0, "running": 0,
-                                       "done": 5, "failed": 0}
+        assert c2.health()["jobs"] == {"queued": 0, "running": 0, "done": 5,
+                                       "failed": 0, "quarantined": 0}
         svc2.shutdown()
 
 

@@ -62,7 +62,8 @@ class TestJobLifecycle:
         store.claim_job(b.id)
         store.finish_job(b.id, [], error="boom")
         assert store.counts() == {"queued": 0, "running": 0,
-                                  "done": 1, "failed": 1}
+                                  "done": 1, "failed": 1,
+                                  "quarantined": 0}
         assert store.get_job(b.id).error == "boom"
         assert store.get_job(b.id).status == "failed"
 
