@@ -282,13 +282,36 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import serve
-    serve(args.db, host=args.host, port=args.port, drainers=args.drainers,
-          engine_workers=args.engine_workers,
-          default_timeout=args.timeout,
-          lease_seconds=args.lease_seconds or None,
-          max_attempts=args.max_attempts,
-          drain_grace=args.drain_grace, quiet=args.quiet,
-          log_level=args.log_level)
+    try:
+        serve(args.store or args.db, host=args.host, port=args.port,
+              drainers=args.drainers,
+              engine_workers=args.engine_workers,
+              default_timeout=args.timeout,
+              lease_seconds=args.lease_seconds or None,
+              max_attempts=args.max_attempts,
+              drain_grace=args.drain_grace,
+              embedded_workers=not args.no_embedded_workers,
+              cache_shards=args.cache_shards,
+              quiet=args.quiet,
+              log_level=args.log_level)
+    except ValueError as exc:        # bad --store URL, bad shard count
+        raise SystemExit(f"error: {exc}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .service import run_worker
+    try:
+        run_worker(args.store, workers=args.workers,
+                   engine_workers=args.engine_workers,
+                   name=args.name,
+                   lease_seconds=args.lease_seconds or None,
+                   default_timeout=args.timeout,
+                   poll_interval=args.poll_interval,
+                   drain_grace=args.drain_grace,
+                   quiet=args.quiet, log_level=args.log_level)
+    except ValueError as exc:        # bad --store URL
+        raise SystemExit(f"error: {exc}")
     return 0
 
 
@@ -322,14 +345,19 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults.chaos import DEFAULT_FAULTS, run_chaos
-    result = run_chaos(seed=args.seed, jobs=args.jobs,
-                       faults=args.faults or DEFAULT_FAULTS,
-                       url=args.url, drainers=args.drainers,
-                       engine_workers=args.engine_workers,
-                       lease_seconds=args.lease_seconds,
-                       max_attempts=args.max_attempts,
-                       deadline=args.deadline,
-                       progress=lambda m: print(m, file=sys.stderr))
+    try:
+        result = run_chaos(seed=args.seed, jobs=args.jobs,
+                           faults=args.faults or DEFAULT_FAULTS,
+                           url=args.url, drainers=args.drainers,
+                           engine_workers=args.engine_workers,
+                           lease_seconds=args.lease_seconds,
+                           max_attempts=args.max_attempts,
+                           deadline=args.deadline,
+                           store_url=args.store,
+                           external_workers=args.external_workers,
+                           progress=lambda m: print(m, file=sys.stderr))
+    except ValueError as exc:        # bad --store URL / topology combo
+        raise SystemExit(f"error: {exc}")
     print(json.dumps(result.to_dict(), indent=2))
     verdict = "OK" if result.ok else "FAILED"
     print(f"chaos {verdict}: {result.jobs} jobs, "
@@ -504,14 +532,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.url:
-        import urllib.request
-        from .service.server import API_VERSION
-        url = args.url.rstrip("/") + f"/{API_VERSION}/metrics"
+        from .service import ServiceClient, ServiceError
         try:
-            with urllib.request.urlopen(url, timeout=10.0) as resp:
-                sys.stdout.write(resp.read().decode())
-        except OSError as exc:
-            raise SystemExit(f"error: cannot fetch {url}: {exc}")
+            sys.stdout.write(ServiceClient(args.url, timeout=10.0).metrics())
+        except (ServiceError, OSError) as exc:
+            raise SystemExit(
+                f"error: cannot fetch metrics from {args.url}: {exc}")
     else:
         from .obs.metrics import REGISTRY
         sys.stdout.write(REGISTRY.render())
@@ -634,8 +660,19 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--db", default="repro-jobs.db",
                     help="SQLite file for jobs/reports/result cache "
                          "(jobs survive restarts)")
+    pe.add_argument("--store", default=None,
+                    help="storage backend URL: sqlite:///jobs.db "
+                         "(3 slashes = relative path, 4 = absolute) or "
+                         "memory:// (volatile, tests); overrides --db")
     pe.add_argument("--drainers", type=int, default=2,
                     help="queue worker threads consuming jobs")
+    pe.add_argument("--no-embedded-workers", action="store_true",
+                    help="accept + supervise only; execution is left to "
+                         "external `repro worker` processes sharing the "
+                         "store")
+    pe.add_argument("--cache-shards", type=int, default=None,
+                    help="result-cache shard count for a fresh store "
+                         "(default 4; existing stores keep theirs)")
     pe.add_argument("--engine-workers", type=int, default=0,
                     help="process fan-out per job (0 solves inline on "
                          "the drainer thread)")
@@ -658,6 +695,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="structured-log threshold; overrides --quiet "
                          "(default: info)")
     pe.set_defaults(func=_cmd_serve)
+
+    pw = sub.add_parser(
+        "worker", help="run a standalone worker node draining a shared "
+                       "store (pair with `repro serve "
+                       "--no-embedded-workers`)")
+    pw.add_argument("--store", required=True,
+                    help="storage backend URL shared with the server, "
+                         "e.g. sqlite:///jobs.db (memory:// cannot be "
+                         "shared across processes)")
+    pw.add_argument("--workers", type=int, default=2,
+                    help="drainer threads in this node")
+    pw.add_argument("--engine-workers", type=int, default=0,
+                    help="process fan-out per job (0 solves inline on "
+                         "the drainer thread)")
+    pw.add_argument("--name", default=None,
+                    help="node name stamped on claims (default: "
+                         "node-<pid>-<k>)")
+    pw.add_argument("--timeout", type=float, default=None,
+                    help="default per-run timeout for jobs without one")
+    pw.add_argument("--lease-seconds", type=float, default=30.0,
+                    help="job lease length drainers hold and heartbeat "
+                         "(0 disables leases/retries/supervision)")
+    pw.add_argument("--poll-interval", type=float, default=0.25,
+                    help="idle sleep between store polls")
+    pw.add_argument("--drain-grace", type=float, default=10.0,
+                    help="seconds SIGTERM/SIGINT waits for in-flight "
+                         "jobs before releasing their leases")
+    pw.add_argument("--quiet", action="store_true",
+                    help="log warnings only (shorthand for "
+                         "--log-level warning)")
+    pw.add_argument("--log-level", default=None,
+                    choices=("debug", "info", "warning", "error"),
+                    help="structured-log threshold; overrides --quiet "
+                         "(default: info)")
+    pw.set_defaults(func=_cmd_worker)
 
     pj = sub.add_parser(
         "jobs", help="list jobs on a running service")
@@ -700,6 +772,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="attempts per job before quarantine")
     ph.add_argument("--deadline", type=float, default=180.0,
                     help="seconds before undrained jobs count as stuck")
+    ph.add_argument("--store", default=None,
+                    help="storage backend URL for the private service "
+                         "(default: a temporary sqlite file; memory:// "
+                         "needs --external-workers 0)")
+    ph.add_argument("--external-workers", type=int, default=0,
+                    help="drain through this many separate `repro "
+                         "worker` processes instead of embedded "
+                         "drainers; adds a worker_kill leg that "
+                         "SIGKILLs one mid-campaign")
     ph.set_defaults(func=_cmd_chaos)
 
     pu = sub.add_parser(

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..core.fastmath import fast_paths_enabled
 from ..engine import DEFAULT_WORKERS, execute, run_batch
-from ..engine.cache import cache_key, is_cacheable, relabel_hit
+from ..resultcache import cache_key, is_cacheable, relabel_hit
 from ..engine.pool import submit_task
 from ..engine.report import SolveReport
 from ..engine.runner import SOLVE_SECONDS, execute_in_worker

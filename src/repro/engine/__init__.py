@@ -13,7 +13,7 @@
   pooled batches ship their work through.
 """
 
-from .cache import ReportCache, cache_key
+from ..resultcache import ReportCache, cache_key
 from .multicell import solve_many
 from .pool import get_pool, pool_id, shutdown_pool
 from .report import SolveReport

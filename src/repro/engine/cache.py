@@ -1,177 +1,21 @@
-"""Result caching for the execution engine.
+"""Compatibility shim: the result cache now lives in
+:mod:`repro.resultcache`.
 
-Keys combine the instance content hash (:meth:`Instance.digest`), the
-solver name and its canonicalised kwargs, so a cache survives relabelling
-and reordering of batches. The cache is in-memory by default; give it a
-directory to persist reports as one JSON file per key (safe to share
-between processes — writes go through a same-directory rename).
-
-The in-memory layer is bounded (``max_entries``, LRU eviction) and every
-operation takes an internal lock, so one cache can safely back a
-long-running multi-threaded service such as :mod:`repro.service` without
-growing without bound or racing between threads. Disk entries are never
-evicted — the directory is the durable layer, the dict is a hot set.
+The engine's bounded LRU :class:`~repro.resultcache.ReportCache`, the
+key/policy helpers and the hit/miss counters were unified with the
+service's persistent cache into one module, so the sharded service
+cache and the engine cache share a single interface and a single set of
+metrics. Every name that ever lived here is re-exported; new code
+should import from :mod:`repro.resultcache` directly.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import threading
-from collections import OrderedDict
-from dataclasses import replace
-from pathlib import Path
-from typing import Any, Mapping
-
-from ..core.instance import Instance
-from ..obs.metrics import REGISTRY
-from ..obs.trace import current_trace_id
-from .report import SolveReport
+from ..resultcache import (CACHE_HITS, CACHE_MISSES, CACHE_KEY_VERSION,
+                           CACHEABLE_STATUSES, DEFAULT_MAX_ENTRIES,
+                           ReportCache, cache_key, is_cacheable,
+                           relabel_hit)
 
 __all__ = ["ReportCache", "cache_key", "is_cacheable", "relabel_hit",
-           "CACHEABLE_STATUSES", "DEFAULT_MAX_ENTRIES"]
-
-#: Default in-memory bound: large enough for any one experiment sweep,
-#: small enough that a service holding ~1-2 KiB reports stays in the MBs.
-DEFAULT_MAX_ENTRIES = 4096
-
-
-#: Bump whenever the *meaning* of a cached report changes for an
-#: unchanged (instance, algorithm, kwargs) triple, so persistent caches
-#: (the service's SQLite store, on-disk ReportCache dirs) never serve
-#: stale semantics across an upgrade. v2: the status taxonomy split
-#: ``unsupported`` out of ``infeasible`` (mcnaughton / capacity caps).
-CACHE_KEY_VERSION = "report-v2"
-
-
-def cache_key(inst: Instance, algorithm: str,
-              kwargs: Mapping[str, Any] | None = None) -> str:
-    """Deterministic key for (instance, algorithm, kwargs)."""
-    payload = json.dumps(
-        {"v": CACHE_KEY_VERSION,
-         "instance": inst.digest(), "algorithm": algorithm,
-         "kwargs": {k: repr(v) for k, v in sorted((kwargs or {}).items())}},
-        sort_keys=True)
-    return hashlib.sha256(payload.encode()).hexdigest()
-
-
-#: Cache hit/miss counters, labelled by which cache answered: the
-#: engine's in-memory/disk ReportCache or the service's SQLite adapter.
-CACHE_HITS = REGISTRY.counter(
-    "repro_cache_hits_total", "Report-cache lookups served from cache.",
-    labelnames=("cache",))
-CACHE_MISSES = REGISTRY.counter(
-    "repro_cache_misses_total", "Report-cache lookups that missed.",
-    labelnames=("cache",))
-
-#: Outcomes worth remembering; timeouts and crashes are retried instead.
-CACHEABLE_STATUSES = ("ok", "infeasible", "unsupported")
-
-
-def is_cacheable(report: SolveReport) -> bool:
-    """Whether a report may enter a result cache — one rule for every
-    consumer (``run_batch``, the api backends, the service)."""
-    return report.status in CACHEABLE_STATUSES
-
-
-def relabel_hit(report: SolveReport, label: str) -> SolveReport:
-    """A cached/duplicate report re-issued for a new batch cell: marked
-    cached, relabelled to the requesting cell, zero solver time. When
-    the caller runs under a trace context, the re-issued report is
-    re-stamped with *that* trace — a cache hit belongs to the request
-    that received it, not the one that originally solved it."""
-    tid = current_trace_id()
-    extra = report.extra
-    if tid is not None and extra.get("trace_id") != tid:
-        extra = {**extra, "trace_id": tid}
-    return replace(report, cached=True, instance_label=label,
-                   wall_time_s=0.0, extra=extra)
-
-
-class ReportCache:
-    """Bounded, thread-safe store of :class:`SolveReport`.
-
-    ``max_entries`` caps the in-memory dict only (least-recently-*used*
-    entry evicted first); ``None`` disables the bound for short-lived
-    batch runs that want every report resident.
-    """
-
-    def __init__(self, directory: str | os.PathLike | None = None,
-                 max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self._mem: OrderedDict[str, SolveReport] = OrderedDict()
-        self._lock = threading.Lock()
-        self.max_entries = max_entries
-        self._dir: Path | None = None
-        if directory is not None:
-            self._dir = Path(directory)
-            self._dir.mkdir(parents=True, exist_ok=True)
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._mem)
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when unused)."""
-        with self._lock:
-            total = self.hits + self.misses
-            return self.hits / total if total else 0.0
-
-    def _path(self, key: str) -> Path:
-        assert self._dir is not None
-        return self._dir / f"{key}.json"
-
-    def get(self, key: str) -> SolveReport | None:
-        with self._lock:
-            rep = self._mem.get(key)
-            if rep is not None:
-                self._mem.move_to_end(key)
-                self.hits += 1
-        if rep is not None:
-            CACHE_HITS.inc(cache="engine")
-            return rep
-        # Disk probe outside the lock: file IO must not serialise every
-        # thread, and a racing double-read just loads the same JSON twice.
-        if self._dir is not None:
-            path = self._path(key)
-            if path.exists():
-                try:
-                    rep = SolveReport.from_dict(json.loads(path.read_text()))
-                except (ValueError, TypeError, json.JSONDecodeError):
-                    rep = None      # corrupt entry: treat as a miss
-        with self._lock:
-            if rep is None:
-                self.misses += 1
-            else:
-                self._store(key, rep)
-                self.hits += 1
-        if rep is None:
-            CACHE_MISSES.inc(cache="engine")
-        else:
-            CACHE_HITS.inc(cache="engine")
-        return rep
-
-    def _store(self, key: str, report: SolveReport) -> None:
-        # caller holds self._lock
-        self._mem[key] = report
-        self._mem.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._mem) > self.max_entries:
-                self._mem.popitem(last=False)
-
-    def put(self, key: str, report: SolveReport) -> None:
-        with self._lock:
-            self._store(key, report)
-        if self._dir is not None:
-            path = self._path(key)
-            # per-writer tmp name: concurrent threads/processes storing the
-            # same key must not interleave writes before the atomic rename
-            tmp = path.with_suffix(
-                f".{os.getpid()}.{threading.get_ident()}.tmp")
-            tmp.write_text(json.dumps(report.to_dict(), indent=2))
-            os.replace(tmp, path)
+           "CACHEABLE_STATUSES", "DEFAULT_MAX_ENTRIES",
+           "CACHE_KEY_VERSION", "CACHE_HITS", "CACHE_MISSES"]

@@ -51,7 +51,8 @@ from ..obs.metrics import REGISTRY
 from ..obs.trace import current_trace_id, trace_context
 from ..registry import get_solver
 from . import shm
-from .cache import ReportCache, cache_key, is_cacheable, relabel_hit
+from ..resultcache import (ReportCache, cache_key, is_cacheable,
+                           relabel_hit)
 from .pool import (active_batches, batch_begin, batch_end, get_pool,
                    pool_max_workers, rebuild_pool, submit_task)
 from .report import SolveReport

@@ -22,9 +22,13 @@ drainer-loop faults.
 
 from __future__ import annotations
 
-import json
+import glob
 import os
+import signal
+import subprocess
+import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -125,20 +129,62 @@ def _expected_reports(instances) -> dict[str, list[dict]]:
     return expected
 
 
+def _spawn_worker(store_url: str, k: int, *, lease_seconds: float,
+                  engine_workers: int) -> subprocess.Popen:
+    """Launch one external ``repro worker`` process against the shared
+    store. It inherits this process's environment, including the
+    ``REPRO_FAULTS`` plan already exported there."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--store", store_url,
+         "--workers", "2", "--name", f"chaos-worker-{k}",
+         "--engine-workers", str(engine_workers),
+         "--lease-seconds", str(lease_seconds), "--quiet"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _worker_killer(svc, workers: list[subprocess.Popen], jobs: int,
+                   say) -> None:
+    """The worker_kill leg of an external-workers campaign: once the
+    fleet has made real progress, SIGKILL one worker process outright —
+    no drain, no lease release. The server's supervisor must reclaim its
+    orphaned leases and the surviving workers must finish the campaign."""
+    deadline = time.monotonic() + 30.0
+    threshold = max(1, jobs // 5)
+    while time.monotonic() < deadline:
+        counts = svc.store.counts()
+        terminal = sum(counts.get(s, 0) for s in TERMINAL_STATUSES)
+        if terminal >= threshold:
+            break
+        time.sleep(0.2)
+    victim = workers[0]
+    if victim.poll() is None:
+        os.kill(victim.pid, signal.SIGKILL)
+        say(f"worker_kill leg: SIGKILLed external worker pid {victim.pid}")
+
+
 def run_chaos(seed: int = 7, jobs: int = 50,
               faults: str = DEFAULT_FAULTS, *,
               url: str | None = None, drainers: int = 2,
               engine_workers: int = 2, lease_seconds: float = 2.0,
               max_attempts: int = 5, deadline: float = 180.0,
               db_path: str | None = None,
+              store_url: str | None = None,
+              external_workers: int = 0,
               progress: Callable[[str], None] | None = None) -> ChaosResult:
     """Run a chaos campaign; see the module docstring for the invariants.
 
     Local mode (no ``url``) boots a private :class:`SchedulingService`
     on an ephemeral port with the fault plan in the environment — so
     forked pool workers inherit it — and reads final job states straight
-    from its store. Remote mode submits against ``url`` and trusts the
-    server's own fault plan (set ``REPRO_FAULTS`` in its environment).
+    from its store. ``store_url`` picks the storage backend (default: a
+    temporary SQLite file). ``external_workers > 0`` runs the server
+    accept-only and drains through that many separate ``repro worker``
+    processes sharing the store; with at least two of them the campaign
+    adds a *worker_kill leg* — one worker process is SIGKILLed once the
+    fleet has made progress, and the verdict must still come out clean
+    (the server reclaims its leases, the survivors finish the work).
+    Remote mode submits against ``url`` and trusts the server's own
+    fault plan (set ``REPRO_FAULTS`` in its environment).
     """
     from ..service.client import ServiceClient
 
@@ -157,6 +203,12 @@ def run_chaos(seed: int = 7, jobs: int = 50,
     from ..service.queue import JOB_RETRIES, LEASE_RECLAIMS
     from ..engine.pool import _POOL_REBUILDS
 
+    if external_workers and store_url is not None \
+            and store_url.startswith("memory"):
+        raise ValueError(
+            "memory:// stores live in one process and cannot be drained "
+            "by external workers; use a sqlite:// store_url")
+
     saved = {k: os.environ.get(k)
              for k in ("REPRO_FAULTS", "REPRO_FAULTS_SEED")}
     os.environ["REPRO_FAULTS"] = faults
@@ -171,18 +223,34 @@ def run_chaos(seed: int = 7, jobs: int = 50,
     rebuilds0 = _POOL_REBUILDS.value()
 
     tmp = None
-    if db_path is None:
-        fd, tmp = tempfile.mkstemp(prefix="repro-chaos-", suffix=".db")
-        os.close(fd)
-        db_path = tmp
+    if store_url is None:
+        if db_path is None:
+            fd, tmp = tempfile.mkstemp(prefix="repro-chaos-", suffix=".db")
+            os.close(fd)
+            db_path = tmp
+        store_url = "sqlite:///" + os.path.abspath(db_path)
     svc = None
+    workers: list[subprocess.Popen] = []
     try:
-        svc = SchedulingService(db_path, port=0, drainers=drainers,
+        svc = SchedulingService(store_url, port=0, drainers=drainers,
                                 engine_workers=engine_workers,
                                 lease_seconds=lease_seconds,
-                                max_attempts=max_attempts, quiet=True)
+                                max_attempts=max_attempts,
+                                embedded_workers=not external_workers,
+                                quiet=True)
         svc.start()
-        say(f"service up at {svc.url} under faults {faults!r}")
+        say(f"service up at {svc.url} under faults {faults!r} "
+            f"(store {svc.store.url})")
+        if external_workers:
+            workers = [_spawn_worker(store_url, k,
+                                     lease_seconds=lease_seconds,
+                                     engine_workers=engine_workers)
+                       for k in range(external_workers)]
+            say(f"spawned {external_workers} external worker process(es)")
+            if external_workers >= 2:
+                threading.Thread(
+                    target=_worker_killer, args=(svc, workers, jobs, say),
+                    daemon=True, name="repro-chaos-killer").start()
         result = _drive(ServiceClient(svc.url), svc, instances, expected,
                         deadline, faults, seed, t0, say)
         result.retries = int(JOB_RETRIES.value(reason="error")
@@ -192,6 +260,15 @@ def run_chaos(seed: int = 7, jobs: int = 50,
         result.rebuilds = int(_POOL_REBUILDS.value() - rebuilds0)
         return result
     finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
         if svc is not None:
             # disable faults before shutdown so the drain cannot be
             # re-broken by store_commit faults on its way out
@@ -205,10 +282,12 @@ def run_chaos(seed: int = 7, jobs: int = 50,
         injection.reset()
         shutdown_pool(wait=False, cancel_futures=True)
         if tmp is not None:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # the store file plus its WAL/shm sidecars and cache shards
+            for path in glob.glob(tmp + "*"):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
 
 
 def _drive(client, svc, instances, expected, deadline, faults, seed,

@@ -239,6 +239,17 @@ class ServiceClient:
         """``GET /v1/healthz``."""
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the raw Prometheus text exposition
+        (the one non-JSON payload, so it bypasses ``_request``)."""
+        req = urllib.request.Request(
+            self.base_url + self.api_prefix + "/metrics", method="GET")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, str(exc.reason)) from None
+
     @staticmethod
     def job_failure(job: Mapping[str, Any]) -> ServiceError:
         """The one way a terminally unsuccessful job becomes an exception

@@ -1,92 +1,54 @@
-"""Thread-safe priority job queue draining into the execution engine.
+"""Job intake facade over a :class:`~repro.service.worker.WorkerNode`.
 
-The queue owns N drainer threads. Each pops the highest-priority queued
-job (FIFO within a priority level), claims it with a store lease, runs
-its instance x algorithms grid through a :class:`repro.api.Session`
-(the same facade every other consumer uses), and persists the resulting
-reports. The session's cache hook points at the store's ``results``
-table, so repeated digests are served without solver work — across
-jobs, clients and restarts.
+Historically this module owned the whole consumption side of the
+service: an in-process priority heap, the drainer threads, the retry
+machinery and the lease supervisor. That machinery now lives in
+:mod:`repro.service.worker` as the transport-agnostic
+:class:`~repro.service.worker.WorkerNode`, which polls *any*
+:class:`~repro.service.storage.StoreBackend` via its atomic
+``claim_next`` — so the very same code drains jobs as embedded server
+threads or as standalone ``repro worker`` processes, and the store's
+``(priority DESC, submitted_at, id)`` claim order replaces the heap.
 
-Crash safety. A supervisor thread heartbeats the lease of every
-in-flight job, reclaims jobs whose lease expired (their drainer died or
-hung — the store requeues them with exponential backoff + full jitter,
-or quarantines them once ``max_attempts`` is spent), promotes
-backoff-delayed retries into the heap when due, and respawns drainer
-threads that died (e.g. to an injected ``drainer_loop`` fault or a
-``CancelledError`` escaping a cancelled pool future). Retryable job
-failures (broken pools, injected faults, I/O errors) are requeued with
-the same backoff; non-retryable ones (bad input) fail terminally on the
-first attempt.
-
-Drainers are plain threads, not the main thread, so the engine's
-``SIGALRM`` timeout cannot arm for inline solves; per-run timeouts here
-rely on :mod:`repro.engine.runner`'s watchdog-thread fallback (or, with
-``engine_workers > 1``, on ``SIGALRM`` inside the pool workers, which do
-run solver code on their main thread).
+:class:`JobQueue` remains the embedded-mode API: submission (persist +
+wake a drainer), recovery-on-start, and lifecycle (``start`` / ``stop``
+/ ``join``) — a thin facade delegating execution to one private
+``WorkerNode``. The drainer metrics and the retry/backoff helpers are
+re-exported here unchanged for existing callers.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import random
-import sqlite3
-import threading
-import time
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Iterable, Mapping
 
-from ..api import BatchRequest, Session
 from ..core.instance import Instance
-from ..faults import injection
-from ..faults.injection import FaultInjected
-from ..obs.log import get_logger
 from ..obs.metrics import REGISTRY
-from ..obs.trace import current_trace_id, trace_context
-from .store import JobRecord, JobStore, SqliteReportCache
+from ..obs.trace import current_trace_id
+from .store import JobRecord
+from .worker import (_DRAIN_SECONDS, _DRAINER_RESTARTS, JOB_RETRIES,
+                     JOBS_ACTIVE, JOBS_COMPLETED, LEASE_RECLAIMS,
+                     QUEUE_DEPTH, WORKER_CLAIMS, WorkerNode, retryable)
 
-__all__ = ["JobQueue"]
+__all__ = ["JobQueue", "QUEUE_DEPTH", "JOBS_ACTIVE", "JOBS_COMPLETED",
+           "JOB_RETRIES", "LEASE_RECLAIMS", "WORKER_CLAIMS",
+           "_DRAIN_SECONDS", "_DRAINER_RESTARTS"]
 
-_log = get_logger("repro.service.queue")
-
-QUEUE_DEPTH = REGISTRY.gauge(
-    "repro_queue_depth", "Jobs waiting in the queue (in-flight excluded).")
-JOBS_ACTIVE = REGISTRY.gauge(
-    "repro_jobs_active", "Jobs currently being solved by a drainer.")
 _JOBS_SUBMITTED = REGISTRY.counter(
     "repro_jobs_submitted_total", "Jobs accepted into the queue.")
-JOBS_COMPLETED = REGISTRY.counter(
-    "repro_jobs_completed_total", "Jobs finished, by terminal status.",
-    labelnames=("status",))
-_DRAIN_SECONDS = REGISTRY.histogram(
-    "repro_job_drain_seconds",
-    "Wall time from claim to persisted result, per job.")
-JOB_RETRIES = REGISTRY.counter(
-    "repro_job_retries_total",
-    "Jobs requeued for another attempt, by reason "
-    "(error = drainer caught a retryable failure; "
-    "reclaim = lease expired and the supervisor took the job back).",
-    labelnames=("reason",))
-LEASE_RECLAIMS = REGISTRY.counter(
-    "repro_lease_reclaims_total",
-    "Expired job leases reclaimed by the supervisor.")
-_DRAINER_RESTARTS = REGISTRY.counter(
-    "repro_drainer_restarts_total",
-    "Drainer threads respawned by the supervisor after dying mid-job.")
 
 
 class JobQueue:
-    """Priority queue feeding persisted jobs to a ``repro.api.Session``.
+    """Embedded job intake + drain: a store plus one worker node.
 
     Parameters
     ----------
     store:
-        The persistent job store; the queue never holds state the store
-        does not — the heap is just an index over ``status='queued'``.
+        Any :class:`~repro.service.storage.StoreBackend`; the queue
+        never holds state the store does not.
     drainers:
-        Number of worker threads consuming jobs (0 = accept-only, useful
-        for tests and draining-paused maintenance).
+        Number of embedded worker threads consuming jobs (0 =
+        accept-only, useful for tests, maintenance pauses, and servers
+        fronting external ``repro worker`` processes).
     engine_workers:
         Process fan-out per job. The default 0 solves inline on the
         drainer thread — one process, ``drainers`` concurrent solves;
@@ -100,14 +62,16 @@ class JobQueue:
     max_attempts:
         Attempts per job before quarantine (``None`` = store default).
     reclaim_interval:
-        Supervisor tick (heartbeats, reclaims, retry promotion, drainer
-        respawn). Default: a third of the lease, capped at 1s.
+        Supervisor tick (heartbeats, reclaims, drainer respawn).
+        Default: a third of the lease, capped at 1s.
     retry_backoff_base / retry_backoff_cap:
         Exponential-backoff envelope for retries: attempt ``k`` waits
         ``uniform(0, min(cap, base * 2**(k-1)))`` seconds (full jitter).
     """
 
-    def __init__(self, store: JobStore, *, drainers: int = 2,
+    _retryable = staticmethod(retryable)
+
+    def __init__(self, store, *, drainers: int = 2,
                  engine_workers: int = 0,
                  default_timeout: float | None = None,
                  lease_seconds: float | None = 30.0,
@@ -117,112 +81,50 @@ class JobQueue:
                  retry_backoff_cap: float = 30.0) -> None:
         if drainers < 0:
             raise ValueError(f"drainers must be >= 0, got {drainers}")
-        if lease_seconds is not None and lease_seconds <= 0:
-            raise ValueError(
-                f"lease_seconds must be > 0 or None, got {lease_seconds}")
         self.store = store
-        self.cache = SqliteReportCache(store)
         self.drainers = drainers
         self.engine_workers = engine_workers
         self.default_timeout = default_timeout
         self.lease_seconds = lease_seconds
         self.max_attempts = max_attempts
-        if reclaim_interval is None and lease_seconds is not None:
-            reclaim_interval = min(1.0, lease_seconds / 3.0)
-        self.reclaim_interval = reclaim_interval
+        self._node = WorkerNode(
+            store, workers=drainers, engine_workers=engine_workers,
+            default_timeout=default_timeout, lease_seconds=lease_seconds,
+            reclaim_interval=reclaim_interval,
+            retry_backoff_base=retry_backoff_base,
+            retry_backoff_cap=retry_backoff_cap)
+        self.reclaim_interval = self._node.reclaim_interval
         self.retry_backoff_base = retry_backoff_base
         self.retry_backoff_cap = retry_backoff_cap
-        self._session = Session(workers=engine_workers, cache=self.cache)
-        self._heap: list[tuple[int, int, str]] = []   # (-prio, seq, job_id)
-        self._delayed: list[tuple[float, int, int, str]] = []
-        self._seq = itertools.count()
-        self._cv = threading.Condition()
-        self._threads: list[threading.Thread] = []
-        self._supervisor: threading.Thread | None = None
-        self._inflight: set[str] = set()
-        self._active = 0
-        self._stopping = False
-        self._started = False
-        self._names = itertools.count()
+        self.cache = self._node.cache
+        self._session = self._node._session
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
     def start(self) -> int:
-        """Recover persisted work, spawn the drainers (and, when leases
-        are on, the supervisor). Returns the number of jobs re-enqueued
-        from a previous process."""
-        if self.engine_workers > 1 and self.drainers > 0:
-            # pre-warm the shared engine pool to the *aggregate* demand:
-            # each drainer's batch caps its own fan-out at engine_workers,
-            # so concurrent jobs need drainers x engine_workers width to
-            # run at full parallelism (matching the capacity the service
-            # had when every run_batch built a private pool)
-            from ..engine.pool import get_pool
-            get_pool(self.drainers * self.engine_workers)
+        """Recover persisted work, then start the embedded worker node.
+        Returns the number of jobs re-enqueued from a previous process."""
         recovered = self.store.recover_incomplete()
-        with self._cv:
-            self._stopping = False
-            self._started = True
-            for job in recovered:
-                heapq.heappush(self._heap,
-                               (-job.priority, next(self._seq), job.id))
-            QUEUE_DEPTH.set(len(self._heap))
-            self._cv.notify_all()
-        for _ in range(self.drainers):
-            self._spawn_drainer()
-        if self.lease_seconds is not None and self.drainers > 0:
-            self._supervisor = threading.Thread(
-                target=self._supervise_loop, daemon=True,
-                name="repro-supervisor")
-            self._supervisor.start()
+        self._node.start()
+        QUEUE_DEPTH.set(self.store.count_jobs("queued"))
+        self._node.notify()
         return len(recovered)
 
-    def _spawn_drainer(self) -> threading.Thread:
-        t = threading.Thread(target=self._drain_loop, daemon=True,
-                             name=f"repro-drainer-{next(self._names)}")
-        t.start()
-        self._threads.append(t)
-        return t
-
     def stop(self, wait: bool = True, *, grace: float | None = None) -> int:
-        """Stop accepting pops; drainers exit after their current job.
+        """Stop the node; drainers exit after their current job.
 
         With ``grace`` set, waits at most that many seconds for in-flight
         jobs, then releases the leases of whatever is still running so
         another process (or the next start) can pick the work up without
         burning a retry attempt. Returns the number of leases released."""
-        with self._cv:
-            self._stopping = True
-            self._cv.notify_all()
-        deadline = (time.monotonic() + grace) if grace is not None else None
-        if wait:
-            for t in self._threads:
-                if deadline is None:
-                    t.join()
-                else:
-                    t.join(max(0.0, deadline - time.monotonic()))
-        if self._supervisor is not None:
-            self._supervisor.join(1.0 if grace is not None else None)
-            self._supervisor = None
-        released = 0
-        with self._cv:
-            leftover = list(self._inflight)
-        for job_id in leftover:
-            if self.store.release_lease(job_id):
-                released += 1
-                _log.warning("lease_released", job_id=job_id)
-        self._threads.clear()
-        return released
+        return self._node.stop(wait=wait, grace=grace)
 
     def join(self, timeout: float | None = None) -> bool:
-        """Block until the queue is empty (including delayed retries) and
-        no drainer is mid-job."""
-        with self._cv:
-            return self._cv.wait_for(
-                lambda: not self._heap and not self._delayed
-                and self._active == 0, timeout)
+        """Block until the store holds no claimable work (including
+        backoff-delayed retries) and no drainer is mid-job."""
+        return self._node.join(timeout)
 
     # ------------------------------------------------------------------ #
     # producing & introspection
@@ -242,229 +144,18 @@ class JobQueue:
                                     priority=priority, timeout=timeout,
                                     trace_id=current_trace_id(), **kwargs)
         _JOBS_SUBMITTED.inc()
-        with self._cv:
-            heapq.heappush(self._heap, (-job.priority, next(self._seq),
-                                        job.id))
-            QUEUE_DEPTH.set(len(self._heap))
-            self._cv.notify()
+        QUEUE_DEPTH.set(self.store.count_jobs("queued"))
+        self._node.notify()
         return job
 
     def depth(self) -> int:
-        """Jobs waiting in the queue (not counting in-flight ones)."""
-        with self._cv:
-            return len(self._heap)
+        """Jobs waiting in the store (not counting in-flight ones)."""
+        return self.store.count_jobs("queued")
 
     def active(self) -> int:
-        """Jobs currently being solved by a drainer."""
-        with self._cv:
-            return self._active
-
-    # ------------------------------------------------------------------ #
-    # consuming
-    # ------------------------------------------------------------------ #
-
-    def _drain_loop(self) -> None:
-        while True:
-            with self._cv:
-                self._cv.wait_for(lambda: self._heap or self._stopping)
-                if self._stopping:
-                    return
-                _, _, job_id = heapq.heappop(self._heap)
-                QUEUE_DEPTH.set(len(self._heap))
-                self._active += 1
-                JOBS_ACTIVE.set(self._active)
-            try:
-                self._run_job(job_id)
-            finally:
-                with self._cv:
-                    self._active -= 1
-                    JOBS_ACTIVE.set(self._active)
-                    self._cv.notify_all()
+        """Jobs currently being solved by an embedded drainer."""
+        return self._node.active()
 
     def _backoff(self, attempts: int) -> float:
         """Full-jitter exponential backoff for retry attempt ``attempts``."""
-        ceiling = min(self.retry_backoff_cap,
-                      self.retry_backoff_base * 2 ** max(0, attempts - 1))
-        return random.uniform(0.0, ceiling)
-
-    @staticmethod
-    def _retryable(exc: BaseException) -> bool:
-        """Whether a job failure is worth another attempt. Infrastructure
-        trouble (dead pools, injected faults, I/O hiccups) is; malformed
-        input (``ValueError`` and friends from the solvers) is not."""
-        if isinstance(exc, (BrokenProcessPool, FaultInjected, OSError,
-                            ConnectionError, MemoryError,
-                            sqlite3.OperationalError)):
-            return True
-        if isinstance(exc, RuntimeError):
-            msg = str(exc).lower()
-            return "shutdown" in msg or "broken" in msg
-        return False
-
-    def _schedule_retry(self, job_id: str, priority: int,
-                        due: float | None) -> None:
-        """Park ``job_id`` until ``due`` (wall-clock), or push it straight
-        into the heap when already due. Caller need not hold the cv."""
-        now = time.time()
-        with self._cv:
-            if due is not None and due > now:
-                heapq.heappush(self._delayed,
-                               (due, -priority, next(self._seq), job_id))
-            else:
-                heapq.heappush(self._heap,
-                               (-priority, next(self._seq), job_id))
-                QUEUE_DEPTH.set(len(self._heap))
-            self._cv.notify()
-
-    def _run_job(self, job_id: str) -> None:
-        if not self.store.claim_job(job_id, self.lease_seconds):
-            # deleted, finished, another drainer won the id — or the job
-            # is parked behind its retry backoff (e.g. after recovery
-            # raced a reclaim); re-park it instead of dropping it
-            job = self.store.get_job(job_id)
-            if job is not None and job.status == "queued" \
-                    and job.next_attempt_at is not None \
-                    and job.next_attempt_at > time.time():
-                self._schedule_retry(job_id, job.priority,
-                                     job.next_attempt_at)
-            return
-        # a drainer_loop fault fires *after* the claim and *before*
-        # in-flight tracking: the thread dies holding a live lease, and
-        # only supervision (lease reclaim + drainer respawn) saves the job
-        injection.maybe_raise("drainer_loop")
-        with self._cv:
-            self._inflight.add(job_id)
-        try:
-            self._execute_claimed(job_id)
-        finally:
-            with self._cv:
-                self._inflight.discard(job_id)
-
-    def _execute_claimed(self, job_id: str) -> None:
-        job = self.store.get_job(job_id)
-        # re-enter the job's submission trace on this drainer thread
-        # (contextvars do not cross threads); jobs from a pre-trace
-        # database get a fresh ID so their reports are still correlated
-        with trace_context(job.trace_id):
-            t0 = time.monotonic()
-            _log.info("job_started", job_id=job_id, label=job.label,
-                      attempt=job.attempts, algorithms=len(job.algorithms))
-            try:
-                reports = self._session.solve_batch(BatchRequest.create(
-                    [(job.label or job_id, job.instance)],
-                    list(job.algorithms), timeout=job.timeout))
-                finished = self.store.finish_job(job_id, reports)
-            except Exception as exc:    # noqa: BLE001 — job fails, queue lives
-                self._job_failed(job, exc, time.monotonic() - t0)
-                return
-            elapsed = time.monotonic() - t0
-            if not finished:
-                # our lease was reclaimed mid-run and a retry superseded
-                # us; the store refused the stale write
-                _log.warning("job_finish_stale", job_id=job_id,
-                             wall_time_s=round(elapsed, 6))
-                return
-            JOBS_COMPLETED.inc(status="done")
-            _DRAIN_SECONDS.observe(elapsed)
-            _log.info("job_finished", job_id=job_id, status="done",
-                      error="", wall_time_s=round(elapsed, 6))
-
-    def _job_failed(self, job: JobRecord, exc: Exception,
-                    elapsed: float) -> None:
-        """Route a failed attempt: requeue with backoff, quarantine, or
-        fail terminally. Runs on the drainer thread, inside the job's
-        trace context."""
-        error = f"{type(exc).__name__}: {exc}"
-        attempts = job.attempts     # fetched post-claim: already counted
-        if self._retryable(exc) and self.lease_seconds is not None:
-            if attempts < job.max_attempts:
-                delay = self._backoff(attempts)
-                if self.store.requeue_job(job.id, error=error, delay=delay):
-                    JOB_RETRIES.inc(reason="error")
-                    _log.warning("job_retrying", job_id=job.id, error=error,
-                                 attempt=attempts,
-                                 max_attempts=job.max_attempts,
-                                 delay_s=round(delay, 3))
-                    self._schedule_retry(job.id, job.priority,
-                                         time.time() + delay)
-                return
-            if self.store.quarantine_job(
-                    job.id, f"{error} (attempt {attempts}/"
-                    f"{job.max_attempts}, no attempts left)"):
-                JOBS_COMPLETED.inc(status="quarantined")
-                _DRAIN_SECONDS.observe(elapsed)
-                _log.error("job_quarantined", job_id=job.id, error=error,
-                           attempt=attempts, wall_time_s=round(elapsed, 6))
-            return
-        try:
-            finished = self.store.finish_job(job.id, [], error=error)
-        except Exception as exc2:   # noqa: BLE001 — e.g. store_commit fault
-            # the failure record itself failed to commit; leave the row
-            # running — lease reclaim will retry or quarantine it
-            _log.warning("job_fail_commit_failed", job_id=job.id,
-                         error=f"{type(exc2).__name__}: {exc2}")
-            return
-        if finished:
-            JOBS_COMPLETED.inc(status="failed")
-            _DRAIN_SECONDS.observe(elapsed)
-            _log.warning("job_finished", job_id=job.id, status="failed",
-                         error=error, wall_time_s=round(elapsed, 6))
-
-    # ------------------------------------------------------------------ #
-    # supervision
-    # ------------------------------------------------------------------ #
-
-    def _supervise_loop(self) -> None:
-        interval = self.reclaim_interval or 1.0
-        while True:
-            with self._cv:
-                if self._cv.wait_for(lambda: self._stopping,
-                                     timeout=interval):
-                    return
-            try:
-                self._tick()
-            except Exception as exc:    # noqa: BLE001 — supervisor survives
-                _log.error("supervisor_error",
-                           error=f"{type(exc).__name__}: {exc}")
-
-    def _tick(self) -> None:
-        """One supervisor pass: heartbeat, reclaim, promote, respawn."""
-        with self._cv:
-            inflight = list(self._inflight)
-        for job_id in inflight:
-            self.store.heartbeat(job_id, self.lease_seconds)
-
-        requeued, quarantined = self.store.reclaim_expired(self._backoff)
-        for rec in requeued:
-            LEASE_RECLAIMS.inc()
-            JOB_RETRIES.inc(reason="reclaim")
-            _log.warning("lease_reclaimed", job_id=rec.id,
-                         trace_id=rec.trace_id, attempt=rec.attempts,
-                         max_attempts=rec.max_attempts)
-            self._schedule_retry(rec.id, rec.priority, rec.next_attempt_at)
-        for rec in quarantined:
-            LEASE_RECLAIMS.inc()
-            JOBS_COMPLETED.inc(status="quarantined")
-            _log.error("job_quarantined", job_id=rec.id,
-                       trace_id=rec.trace_id, error=rec.error,
-                       attempt=rec.attempts)
-
-        now = time.time()
-        with self._cv:
-            promoted = False
-            while self._delayed and self._delayed[0][0] <= now:
-                _, neg_prio, seq, job_id = heapq.heappop(self._delayed)
-                heapq.heappush(self._heap, (neg_prio, seq, job_id))
-                promoted = True
-            if promoted:
-                QUEUE_DEPTH.set(len(self._heap))
-                self._cv.notify_all()
-
-        for i, t in enumerate(self._threads):
-            if not t.is_alive() and not self._stopping:
-                _DRAINER_RESTARTS.inc()
-                _log.warning("drainer_restarted", died=t.name)
-                self._threads[i] = threading.Thread(
-                    target=self._drain_loop, daemon=True,
-                    name=f"repro-drainer-{next(self._names)}")
-                self._threads[i].start()
+        return self._node._backoff(attempts)

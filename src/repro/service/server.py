@@ -78,7 +78,7 @@ from typing import Any
 
 from ..api import Session, SolveRequest
 from ..core.errors import InfeasibleInstanceError, InvalidInstanceError
-from ..engine.cache import CACHE_HITS, CACHE_MISSES
+from ..resultcache import CACHE_HITS, CACHE_MISSES
 from ..engine.pool import shutdown_pool
 from ..io import instance_from_dict
 from ..obs.log import get_logger
@@ -89,7 +89,8 @@ from ..obs.trace import (TRACE_HEADER, is_valid_trace_id, new_trace_id,
 from ..registry import (NoMatchingSolverError, UnknownSolverError,
                         get_solver, list_solvers, suggest_solvers)
 from .queue import JOBS_ACTIVE, QUEUE_DEPTH, JobQueue
-from .store import JOB_STATUSES, JobStore
+from .storage import StoreBackend, open_store
+from .store import JOB_STATUSES
 
 __all__ = ["SchedulingService", "serve",
            "API_VERSION", "MAX_BODY_BYTES", "SYNC_SOLVE_MAX_JOBS"]
@@ -112,6 +113,13 @@ MAX_PAGE_LIMIT = 500
 
 _log = get_logger("repro.service.server")
 
+_STORE_JOBS = REGISTRY.gauge(
+    "repro_store_jobs", "Jobs in the backing store, by status "
+    "(refreshed when /v1/metrics is scraped).", labelnames=("status",))
+_STORE_WORKER_CLAIMS = REGISTRY.gauge(
+    "repro_store_worker_claims", "Cumulative claims per worker node as "
+    "recorded in the store — spans every process sharing it "
+    "(refreshed when /v1/metrics is scraped).", labelnames=("worker",))
 _HTTP_REQUESTS = REGISTRY.counter(
     "repro_http_requests_total", "HTTP requests served, by normalized "
     "route, method and status code.",
@@ -401,6 +409,10 @@ class _Handler(BaseHTTPRequestHandler):
         if sub == "/healthz":
             return self._send_json(self.server.service.health())
         if sub == "/metrics" and self._v1:
+            # the store is shared fleet state the process registry cannot
+            # see; derive its gauges at scrape time so one server scrape
+            # reports every worker draining the same store
+            self.server.service.refresh_store_gauges()
             return self._send_payload(REGISTRY.render().encode(),
                                       METRICS_CONTENT_TYPE)
         if sub == "/solvers":
@@ -522,26 +534,45 @@ class _HTTPServer(ThreadingHTTPServer):
 
 
 class SchedulingService:
-    """The composed service: store + queue + HTTP server.
+    """The composed service: store backend + queue + HTTP server.
 
-    ``port=0`` binds an ephemeral port (tests); read ``self.port`` after
-    construction. ``start()`` recovers persisted jobs and begins serving
-    in background threads; ``shutdown()`` stops cleanly (jobs still
-    queued stay ``queued`` in the store for the next start).
+    ``db_path`` names the storage backend: a filesystem path (legacy), a
+    ``store_url`` (``sqlite:///jobs.db``, ``memory://``), or an already
+    open :class:`~repro.service.storage.StoreBackend` — the service then
+    shares it and leaves closing to its owner. ``port=0`` binds an
+    ephemeral port (tests); read ``self.port`` after construction.
+    ``start()`` recovers persisted jobs and begins serving in background
+    threads; ``shutdown()`` stops cleanly (jobs still queued stay
+    ``queued`` in the store for the next start).
+
+    ``embedded_workers=False`` runs the front door alone: jobs are
+    accepted, persisted and supervised (expired leases still get
+    reclaimed) but executed only by external ``repro worker`` processes
+    pointed at the same store.
     """
 
     #: Ceiling for synchronous ``POST /v1/solve`` runs submitted without
     #: their own timeout — a handler thread must never hang forever.
     SYNC_DEFAULT_TIMEOUT = 60.0
 
-    def __init__(self, db_path: str, *, host: str = "127.0.0.1",
+    def __init__(self, db_path: str | StoreBackend, *,
+                 host: str = "127.0.0.1",
                  port: int = 8080, drainers: int = 2,
                  engine_workers: int = 0,
                  default_timeout: float | None = None,
                  lease_seconds: float | None = 30.0,
                  max_attempts: int | None = None,
+                 embedded_workers: bool = True,
+                 cache_shards: int | None = None,
                  quiet: bool = True) -> None:
-        self.store = JobStore(db_path)
+        if isinstance(db_path, StoreBackend):
+            self.store = db_path
+            self._owns_store = False
+        else:
+            self.store = open_store(str(db_path), cache_shards=cache_shards)
+            self._owns_store = True
+        if not embedded_workers:
+            drainers = 0
         self.queue = JobQueue(self.store, drainers=drainers,
                               engine_workers=engine_workers,
                               default_timeout=default_timeout,
@@ -585,6 +616,7 @@ class SchedulingService:
             "status": "ok",
             "api_version": API_VERSION,
             "uptime_s": round(time.time() - self._started_at, 3),
+            "store": self.store.url,
             "queue_depth": int(QUEUE_DEPTH.value()),
             "active_jobs": int(JOBS_ACTIVE.value()),
             "drainers": self.queue.drainers,
@@ -594,6 +626,15 @@ class SchedulingService:
                       "hit_rate": round(hits / lookups, 4) if lookups
                       else 0.0},
         }
+
+    def refresh_store_gauges(self) -> None:
+        """Project shared store state (job counts, per-worker claim
+        totals) into registry gauges — called on every metrics scrape so
+        the numbers cover external workers too."""
+        for status, count in self.store.counts().items():
+            _STORE_JOBS.set(count, status=status)
+        for worker, claims in self.store.claims_by_worker().items():
+            _STORE_WORKER_CLAIMS.set(claims, worker=worker)
 
     def start(self) -> "SchedulingService":
         self.recovered = self.queue.start()
@@ -613,7 +654,8 @@ class SchedulingService:
         if self._thread is not None:
             self._thread.join()
         self.released = self.queue.stop(wait=True, grace=drain_grace)
-        self.store.close()
+        if self._owns_store:
+            self.store.close()
         # release the engine's shared process pool the drainers fanned out
         # over; it is rebuilt lazily if this process runs more batches
         shutdown_pool(wait=False)
@@ -625,8 +667,15 @@ def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,
           lease_seconds: float | None = 30.0,
           max_attempts: int | None = None,
           drain_grace: float = 10.0,
+          embedded_workers: bool = True,
+          cache_shards: int | None = None,
           quiet: bool = False, log_level: str | None = None) -> None:
     """Run the service in the foreground until interrupted (CLI entry).
+
+    ``db_path`` may be a filesystem path or a ``store_url``
+    (``sqlite:///jobs.db``, ``memory://``). ``embedded_workers=False``
+    accepts and supervises jobs but leaves execution to external
+    ``repro worker`` processes sharing the store.
 
     ``--quiet`` is now just a log level: it selects ``warning`` where the
     default is ``info``; an explicit ``log_level`` wins over both.
@@ -643,10 +692,13 @@ def serve(db_path: str, *, host: str = "127.0.0.1", port: int = 8080,
                             engine_workers=engine_workers,
                             default_timeout=default_timeout,
                             lease_seconds=lease_seconds,
-                            max_attempts=max_attempts, quiet=quiet)
+                            max_attempts=max_attempts,
+                            embedded_workers=embedded_workers,
+                            cache_shards=cache_shards, quiet=quiet)
     svc.start()
+    workers = svc.queue.drainers if embedded_workers else "none (external)"
     print(f"repro service listening on {svc.url}/{API_VERSION}  "
-          f"(db={db_path}, drainers={drainers}, "
+          f"(store={svc.store.url}, workers={workers}, "
           f"recovered {svc.recovered} job(s))", flush=True)
     stop = threading.Event()
     previous = {}

@@ -1,4 +1,4 @@
-"""SQLite-backed persistence for the scheduling service.
+"""SQLite reference implementation of the storage layer.
 
 One database file holds everything the service must not lose on restart:
 
@@ -8,21 +8,33 @@ One database file holds everything the service must not lose on restart:
 * ``reports`` — the ordered :class:`~repro.engine.report.SolveReport`
   rows a finished job produced (JSON per row, fractions stay exact via
   the report's ``num/den`` wire encoding);
-* ``results`` — a cross-client report cache keyed by
-  :func:`~repro.engine.cache.cache_key` and indexed by
-  ``Instance.digest()``, exposed through :class:`SqliteReportCache` so
-  the engine's ``run_batch(cache=...)`` hook reads and writes it
-  directly. Two clients submitting the same instance share work even
-  across server restarts.
+* ``worker_claims`` — cumulative claims per worker node, so a server
+  can expose per-worker counters for workers living in *other*
+  processes (their in-process metric registries are invisible here).
 
-SQLite is accessed from many threads (HTTP handlers + queue drainers);
-one connection with ``check_same_thread=False`` behind an RLock keeps
-the store simple and safely serialised, and WAL mode keeps readers off
-the writers' backs for other processes inspecting the file.
+The cross-client result cache lives next to the database as N shard
+files (``<path>.cache-<k>``, consistent-hashed by report key — see
+:class:`~repro.resultcache.ShardedReportCache`), reached through the
+same ``cache_get``/``cache_put`` seam as before; a pre-shard ``results``
+table found in an old database is migrated into the shards on open.
+
+Concurrency. The store is accessed from many threads (HTTP handlers +
+worker-node drainers) and, in fleet topologies, from many *processes*.
+File-backed stores open one connection per thread (WAL journal +
+``busy_timeout`` + ``BEGIN IMMEDIATE`` write transactions), so readers
+never block behind writers and concurrent writers queue on SQLite's own
+lock instead of racing; ``:memory:`` stores — where every connection
+would see a different empty database — keep the legacy single shared
+connection behind an RLock.
+
+This is the reference :class:`~repro.service.storage.StoreBackend`; the
+in-memory twin used by tests and chaos lives in
+:mod:`repro.service.storage`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sqlite3
@@ -33,10 +45,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Iterable, Mapping
 
 from ..core.instance import Instance
-from ..engine.cache import CACHE_HITS, CACHE_MISSES
 from ..engine.report import SolveReport
 from ..faults import injection
 from ..io import instance_from_dict, instance_to_dict
+from ..resultcache import (CACHE_HITS, CACHE_MISSES, DEFAULT_CACHE_SHARDS,
+                           MemoryCacheShard, ShardedReportCache,
+                           SqliteCacheShard)
 
 __all__ = ["JobStore", "JobRecord", "SqliteReportCache", "JOB_STATUSES",
            "TERMINAL_STATUSES", "DEFAULT_MAX_ATTEMPTS"]
@@ -53,6 +67,11 @@ TERMINAL_STATUSES = ("done", "failed", "quarantined")
 
 #: Attempts a job gets before quarantine, unless overridden per job.
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: How many eligible candidates ``claim_next`` races for before giving
+#: up the poll — under N competing nodes, losing the first few atomic
+#: claims is normal, losing eight in a row means the queue is drained.
+_CLAIM_CANDIDATES = 8
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -72,7 +91,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     lease_expires_at REAL,
     attempts        INTEGER NOT NULL DEFAULT 0,
     max_attempts    INTEGER NOT NULL DEFAULT 3,
-    next_attempt_at REAL
+    next_attempt_at REAL,
+    claimed_by      TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
 
@@ -83,13 +103,15 @@ CREATE TABLE IF NOT EXISTS reports (
     PRIMARY KEY (job_id, seq)
 );
 
-CREATE TABLE IF NOT EXISTS results (
-    key             TEXT PRIMARY KEY,
-    instance_digest TEXT NOT NULL,
-    report          TEXT NOT NULL,
-    stored_at       REAL NOT NULL
+CREATE TABLE IF NOT EXISTS worker_claims (
+    worker TEXT PRIMARY KEY,
+    claims INTEGER NOT NULL DEFAULT 0
 );
-CREATE INDEX IF NOT EXISTS idx_results_digest ON results(instance_digest);
+
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
 """
 
 
@@ -114,6 +136,7 @@ class JobRecord:
     attempts: int = 0
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     next_attempt_at: float | None = None
+    claimed_by: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe summary (what ``GET /jobs/{id}`` returns)."""
@@ -127,6 +150,7 @@ class JobRecord:
             "lease_expires_at": self.lease_expires_at,
             "attempts": self.attempts, "max_attempts": self.max_attempts,
             "next_attempt_at": self.next_attempt_at,
+            "claimed_by": self.claimed_by,
         }
 
 
@@ -143,45 +167,196 @@ def _row_to_record(row: sqlite3.Row) -> JobRecord:
         finished_at=row["finished_at"], trace_id=row["trace_id"],
         lease_expires_at=row["lease_expires_at"],
         attempts=row["attempts"], max_attempts=row["max_attempts"],
-        next_attempt_at=row["next_attempt_at"])
+        next_attempt_at=row["next_attempt_at"],
+        claimed_by=row["claimed_by"])
+
+
+class _Rollback(Exception):
+    """Raised inside a :meth:`JobStore._write` block to abort the
+    transaction without propagating — the conditional-UPDATE-lost path."""
 
 
 class JobStore:
-    """Thread-safe persistent job + report + result-cache store."""
+    """Thread- and process-safe persistent job + report + cache store.
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    ``cache_shards`` sets the result-cache fan-out for a *fresh*
+    database; an existing one keeps the count it was created with (the
+    consistent-hash ring must match the shard files on disk).
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 cache_shards: int | None = None) -> None:
         self.path = str(path)
+        self._serial = self.path == ":memory:" \
+            or self.path.startswith("file::memory:")
         self._lock = threading.RLock()
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        self._conn.row_factory = sqlite3.Row
-        with self._lock:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            self._conn.executescript(_SCHEMA)
-            self._migrate()
-            self._conn.commit()
+        self._tls = threading.local()
+        self._conns: list[sqlite3.Connection] = []
+        self._closed = False
+        if self._serial:
+            # every connection to :memory: is its own empty database, so
+            # per-thread connections are impossible — serialise instead
+            self._shared = self._connect()
+        else:
+            self._shared = None
+        # executescript commits on its own (autocommit mode), so schema
+        # setup stays outside the explicit-transaction helpers
+        self._connection().executescript(_SCHEMA)
+        with self._write() as conn:
+            self._migrate(conn)
+        self.cache = self._open_cache(cache_shards)
+        self._migrate_legacy_results()
 
-    def _migrate(self) -> None:
-        """Bring a pre-existing database up to the current schema.
-        Caller holds the lock; additive-column-only, so old and new
-        processes can share one file during a rolling restart."""
-        cols = {row["name"] for row in
-                self._conn.execute("PRAGMA table_info(jobs)")}
-        if "trace_id" not in cols:
-            self._conn.execute("ALTER TABLE jobs ADD COLUMN trace_id TEXT")
+    # ------------------------------------------------------------------ #
+    # connections & transactions
+    # ------------------------------------------------------------------ #
+
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False so close() may run from any thread;
+        # each connection is still *used* by one thread only (file mode)
+        # or behind the RLock (memory mode). isolation_level=None puts
+        # sqlite3 in autocommit so BEGIN IMMEDIATE below is explicit.
+        conn = sqlite3.connect(self.path, check_same_thread=False,
+                               isolation_level=None)
+        conn.row_factory = sqlite3.Row
+        if not self._serial:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=10000")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        with self._lock:
+            self._conns.append(conn)
+        return conn
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._serial:
+            return self._shared
+        conn = getattr(self._tls, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            self._tls.conn = conn
+        return conn
+
+    @contextlib.contextmanager
+    def _read(self):
+        if self._serial:
+            with self._lock:
+                yield self._shared
+        else:
+            yield self._connection()
+
+    @contextlib.contextmanager
+    def _write(self):
+        """One atomic write transaction (`BEGIN IMMEDIATE` ... COMMIT).
+
+        Raising :class:`_Rollback` inside the block rolls back quietly —
+        the caller signals "condition not met" via its own return value.
+        Any other exception rolls back and propagates."""
+        if self._serial:
+            with self._lock:
+                yield from self._tx(self._shared)
+        else:
+            yield from self._tx(self._connection())
+
+    @staticmethod
+    def _tx(conn: sqlite3.Connection):
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except _Rollback:
+            conn.execute("ROLLBACK")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        else:
+            conn.execute("COMMIT")
+
+    def _migrate(self, conn: sqlite3.Connection) -> None:
+        """Bring a pre-existing database up to the current schema —
+        additive columns only, so old and new processes can share one
+        file during a rolling restart."""
+        cols = {row["name"] for row in conn.execute("PRAGMA table_info(jobs)")}
         for name, decl in (
+                ("trace_id", "TEXT"),
                 ("lease_expires_at", "REAL"),
                 ("attempts", "INTEGER NOT NULL DEFAULT 0"),
                 ("max_attempts",
                  f"INTEGER NOT NULL DEFAULT {DEFAULT_MAX_ATTEMPTS}"),
-                ("next_attempt_at", "REAL")):
+                ("next_attempt_at", "REAL"),
+                ("claimed_by", "TEXT")):
             if name not in cols:
-                self._conn.execute(
-                    f"ALTER TABLE jobs ADD COLUMN {name} {decl}")
+                conn.execute(f"ALTER TABLE jobs ADD COLUMN {name} {decl}")
+
+    @property
+    def url(self) -> str:
+        """The ``store_url`` this store reopens under."""
+        if self._serial:
+            return "sqlite:///:memory:"
+        return f"sqlite:///{self.path}"
 
     def close(self) -> None:
+        self.cache.close()
         with self._lock:
-            self._conn.close()
+            if self._closed:
+                return
+            self._closed = True
+            for conn in self._conns:
+                with contextlib.suppress(sqlite3.ProgrammingError):
+                    conn.close()
+            self._conns.clear()
+
+    # ------------------------------------------------------------------ #
+    # result-cache shards
+    # ------------------------------------------------------------------ #
+
+    def _meta_get(self, key: str) -> str | None:
+        with self._read() as conn:
+            row = conn.execute("SELECT value FROM meta WHERE key=?",
+                               (key,)).fetchone()
+        return row["value"] if row is not None else None
+
+    def _meta_set(self, key: str, value: str) -> None:
+        with self._write() as conn:
+            conn.execute("INSERT OR REPLACE INTO meta (key, value) "
+                         "VALUES (?, ?)", (key, value))
+
+    def _open_cache(self, cache_shards: int | None) -> ShardedReportCache:
+        if self._serial:
+            count = cache_shards or DEFAULT_CACHE_SHARDS
+            shards = [MemoryCacheShard() for _ in range(count)]
+            return ShardedReportCache(shards, label="service")
+        stored = self._meta_get("cache_shards")
+        if stored is not None:
+            # the ring must match the shard files already on disk; a
+            # mismatched request would silently miss every old entry
+            count = int(stored)
+        else:
+            count = cache_shards or DEFAULT_CACHE_SHARDS
+            self._meta_set("cache_shards", str(count))
+        shards = [SqliteCacheShard(f"{self.path}.cache-{k}")
+                  for k in range(count)]
+        return ShardedReportCache(shards, label="service")
+
+    def _migrate_legacy_results(self) -> None:
+        """Move a pre-shard ``results`` table into the shard files, then
+        drop it — an old monolithic database keeps its warm cache."""
+        with self._read() as conn:
+            present = conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' "
+                "AND name='results'").fetchone()
+        if present is None:
+            return
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT key, instance_digest, report FROM results "
+                "ORDER BY stored_at").fetchall()
+        for row in rows:
+            try:
+                rep = SolveReport.from_dict(json.loads(row["report"]))
+            except (ValueError, TypeError, json.JSONDecodeError):
+                continue    # corrupt legacy entry: drop it
+            self.cache.store(row["key"], row["instance_digest"], rep)
+        with self._write() as conn:
+            conn.execute("DROP TABLE results")
 
     # ------------------------------------------------------------------ #
     # jobs
@@ -201,8 +376,8 @@ class JobStore:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         now = time.time()
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "INSERT INTO jobs (id, status, priority, label, instance, "
                 "instance_digest, algorithms, timeout, submitted_at, "
                 "trace_id, max_attempts) "
@@ -211,7 +386,6 @@ class JobStore:
                  json.dumps(instance_to_dict(inst)), inst.digest(),
                  json.dumps([[n, k] for n, k in algos]), timeout, now,
                  trace_id, int(max_attempts)))
-            self._conn.commit()
         return JobRecord(id=job_id, status="queued", priority=int(priority),
                          label=label, instance=inst,
                          instance_digest=inst.digest(), algorithms=algos,
@@ -219,8 +393,8 @@ class JobStore:
                          trace_id=trace_id, max_attempts=int(max_attempts))
 
     def get_job(self, job_id: str) -> JobRecord | None:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (job_id,)).fetchone()
         return _row_to_record(row) if row is not None else None
 
@@ -236,9 +410,9 @@ class JobStore:
             q += " WHERE status = ?"
             params = (status,)
         q += " ORDER BY submitted_at DESC, id LIMIT ? OFFSET ?"
-        with self._lock:
-            rows = self._conn.execute(
-                q, params + (int(limit), int(offset))).fetchall()
+        with self._read() as conn:
+            rows = conn.execute(q, params + (int(limit),
+                                             int(offset))).fetchall()
         return [_row_to_record(r) for r in rows]
 
     def count_jobs(self, status: str | None = None) -> int:
@@ -248,85 +422,124 @@ class JobStore:
         if status is not None:
             q += " WHERE status = ?"
             params = (status,)
-        with self._lock:
-            (n,) = self._conn.execute(q, params).fetchone()
+        with self._read() as conn:
+            (n,) = conn.execute(q, params).fetchone()
         return n
 
-    def claim_job(self, job_id: str,
-                  lease_seconds: float | None = None) -> bool:
-        """Atomically flip one ``queued`` job to ``running``, counting the
-        attempt and (when ``lease_seconds`` is given) stamping a lease.
+    def claim_job(self, job_id: str, lease_seconds: float | None = None,
+                  *, worker: str = "") -> bool:
+        """Atomically flip one ``queued`` job to ``running``, counting
+        the attempt and (when ``lease_seconds`` is given) stamping a
+        lease plus the claiming ``worker``'s name.
 
         Returns False when the job is gone, already claimed, or parked
         behind its retry backoff (``next_attempt_at`` in the future) —
-        the queue can hold duplicate ids (e.g. a job both submitted live
-        and re-enqueued by recovery), and exactly one drainer must win.
-        A claim without a lease never expires — the legacy single-node
-        behaviour, recovered only by a restart."""
+        any number of worker nodes may race one id, and exactly one must
+        win. A claim without a lease never expires — the legacy
+        single-node behaviour, recovered only by a restart."""
         now = time.time()
         lease = now + lease_seconds if lease_seconds else None
-        with self._lock:
-            cur = self._conn.execute(
+        claimed = False
+        with self._write() as conn:
+            cur = conn.execute(
                 "UPDATE jobs SET status='running', started_at=?, "
-                "lease_expires_at=?, attempts=attempts+1 "
+                "lease_expires_at=?, attempts=attempts+1, claimed_by=? "
                 "WHERE id=? AND status='queued' "
                 "AND (next_attempt_at IS NULL OR next_attempt_at<=?)",
-                (now, lease, job_id, now))
-            self._conn.commit()
-            return cur.rowcount == 1
+                (now, lease, worker or None, job_id, now))
+            if cur.rowcount != 1:
+                raise _Rollback
+            if worker:
+                conn.execute(
+                    "INSERT INTO worker_claims (worker, claims) "
+                    "VALUES (?, 1) ON CONFLICT(worker) "
+                    "DO UPDATE SET claims=claims+1", (worker,))
+            claimed = True
+        return claimed
+
+    def claim_next(self, lease_seconds: float | None = None,
+                   *, worker: str = "") -> JobRecord | None:
+        """Claim the most urgent eligible ``queued`` job — highest
+        priority first, FIFO within a priority level — and return its
+        post-claim record (attempt counted, lease stamped), or ``None``
+        when nothing is currently claimable.
+
+        This is the one-call poll a :class:`WorkerNode` loops on: the
+        SELECT is a snapshot, so each candidate is confirmed with the
+        atomic conditional UPDATE of :meth:`claim_job`; racing nodes
+        simply fall through to the next candidate."""
+        now = time.time()
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT id FROM jobs WHERE status='queued' "
+                "AND (next_attempt_at IS NULL OR next_attempt_at<=?) "
+                "ORDER BY priority DESC, submitted_at, id LIMIT ?",
+                (now, _CLAIM_CANDIDATES)).fetchall()
+        for row in rows:
+            if self.claim_job(row["id"], lease_seconds, worker=worker):
+                return self.get_job(row["id"])
+        return None
+
+    def claims_by_worker(self) -> dict[str, int]:
+        """Cumulative claims per worker node, across every process that
+        ever claimed from this store."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT worker, claims FROM worker_claims").fetchall()
+        return {row["worker"]: row["claims"] for row in rows}
 
     def heartbeat(self, job_id: str, lease_seconds: float) -> bool:
         """Extend a ``running`` job's lease; False when the job is no
         longer running (finished, or reclaimed out from under us)."""
-        with self._lock:
-            cur = self._conn.execute(
+        with self._write() as conn:
+            cur = conn.execute(
                 "UPDATE jobs SET lease_expires_at=? "
                 "WHERE id=? AND status='running'",
                 (time.time() + lease_seconds, job_id))
-            self._conn.commit()
-            return cur.rowcount == 1
+            ok = cur.rowcount == 1
+        return ok
 
     def requeue_job(self, job_id: str, *, error: str = "",
                     delay: float = 0.0) -> bool:
         """Put a ``running`` job back in line after a retryable failure,
         due again ``delay`` seconds from now. The attempt stays counted."""
-        with self._lock:
-            cur = self._conn.execute(
+        with self._write() as conn:
+            cur = conn.execute(
                 "UPDATE jobs SET status='queued', started_at=NULL, "
                 "lease_expires_at=NULL, next_attempt_at=?, error=? "
                 "WHERE id=? AND status='running'",
                 (time.time() + max(0.0, delay), error, job_id))
-            self._conn.commit()
-            return cur.rowcount == 1
+            ok = cur.rowcount == 1
+        return ok
 
     def release_lease(self, job_id: str) -> bool:
         """Hand a ``running`` job back untouched — graceful shutdown's
         path for work it cannot finish in its drain grace. Unlike
         :meth:`requeue_job` the attempt is *refunded*: the job was not
         at fault, and an orderly restart must not eat its retry budget."""
-        with self._lock:
-            cur = self._conn.execute(
+        with self._write() as conn:
+            cur = conn.execute(
                 "UPDATE jobs SET status='queued', started_at=NULL, "
                 "lease_expires_at=NULL, next_attempt_at=NULL, "
                 "attempts=CASE WHEN attempts>0 THEN attempts-1 ELSE 0 END "
                 "WHERE id=? AND status='running'", (job_id,))
-            self._conn.commit()
-            return cur.rowcount == 1
+            ok = cur.rowcount == 1
+        return ok
 
     def quarantine_job(self, job_id: str, error: str) -> bool:
         """Terminally park a ``running`` job that exhausted its attempts."""
-        with self._lock:
-            cur = self._conn.execute(
+        with self._write() as conn:
+            cur = conn.execute(
                 "UPDATE jobs SET status='quarantined', error=?, "
                 "finished_at=?, lease_expires_at=NULL "
                 "WHERE id=? AND status='running'",
                 (error, time.time(), job_id))
-            self._conn.commit()
-            return cur.rowcount == 1
+            ok = cur.rowcount == 1
+        return ok
 
     def reclaim_expired(self, backoff) -> tuple[list[JobRecord],
                                                 list[JobRecord]]:
-        """Sweep ``running`` jobs whose lease expired (their drainer died
+        """Sweep ``running`` jobs whose lease expired (their worker died
         or hung past its heartbeat): requeue those with attempts left —
         due after ``backoff(attempts)`` seconds — and quarantine the
         rest. Returns ``(requeued, quarantined)`` records with their
@@ -334,8 +547,8 @@ class JobStore:
         now = time.time()
         requeued: list[JobRecord] = []
         quarantined: list[JobRecord] = []
-        with self._lock:
-            rows = self._conn.execute(
+        with self._write() as conn:
+            rows = conn.execute(
                 "SELECT * FROM jobs WHERE status='running' "
                 "AND lease_expires_at IS NOT NULL "
                 "AND lease_expires_at<=?", (now,)).fetchall()
@@ -346,7 +559,7 @@ class JobStore:
                 if rec.error:
                     note += f"; last error: {rec.error}"
                 if rec.attempts >= rec.max_attempts:
-                    self._conn.execute(
+                    conn.execute(
                         "UPDATE jobs SET status='quarantined', error=?, "
                         "finished_at=?, lease_expires_at=NULL WHERE id=?",
                         (note, now, rec.id))
@@ -355,14 +568,13 @@ class JobStore:
                         finished_at=now, lease_expires_at=None))
                 else:
                     due = now + max(0.0, float(backoff(rec.attempts)))
-                    self._conn.execute(
+                    conn.execute(
                         "UPDATE jobs SET status='queued', started_at=NULL, "
                         "lease_expires_at=NULL, next_attempt_at=?, error=? "
                         "WHERE id=?", (due, note, rec.id))
                     requeued.append(replace(
                         rec, status="queued", error=note, started_at=None,
                         lease_expires_at=None, next_attempt_at=due))
-            self._conn.commit()
         return requeued, quarantined
 
     def finish_job(self, job_id: str, reports: Iterable[SolveReport],
@@ -370,30 +582,30 @@ class JobStore:
         """Store a job's reports and flip it to ``done`` (or ``failed``).
 
         The flip is conditional on the job still being ``running``:
-        returns False — storing nothing — when it is not, so a drainer
+        returns False — storing nothing — when it is not, so a worker
         whose lease was reclaimed mid-run cannot clobber the outcome of
         the retry that superseded it."""
         injection.maybe_raise("store_commit")
         status = "failed" if error else "done"
-        with self._lock:
-            cur = self._conn.execute(
+        finished = False
+        with self._write() as conn:
+            cur = conn.execute(
                 "UPDATE jobs SET status=?, error=?, finished_at=?, "
                 "lease_expires_at=NULL WHERE id=? AND status='running'",
                 (status, error, time.time(), job_id))
             if cur.rowcount != 1:
-                self._conn.rollback()
-                return False
-            self._conn.execute("DELETE FROM reports WHERE job_id=?", (job_id,))
-            self._conn.executemany(
+                raise _Rollback
+            conn.execute("DELETE FROM reports WHERE job_id=?", (job_id,))
+            conn.executemany(
                 "INSERT INTO reports (job_id, seq, report) VALUES (?, ?, ?)",
                 [(job_id, seq, json.dumps(rep.to_dict()))
                  for seq, rep in enumerate(reports)])
-            self._conn.commit()
-        return True
+            finished = True
+        return finished
 
     def reports_for(self, job_id: str) -> list[SolveReport]:
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT report FROM reports WHERE job_id=? ORDER BY seq",
                 (job_id,)).fetchall()
         return [SolveReport.from_dict(json.loads(r["report"])) for r in rows]
@@ -403,35 +615,36 @@ class JobStore:
         already out of attempts, which are quarantined — and return every
         job the queue must pick up again, oldest submission first, so a
         restart preserves FIFO order within a priority level. Call once
-        at server start: a crash mid-solve must not strand work in
-        ``running`` forever. Recovery clears any retry backoff: the new
-        process starts with a clean slate."""
+        at *server* start (never from a worker node joining a live
+        fleet — it would clobber its peers' leases): a crash mid-solve
+        must not strand work in ``running`` forever. Recovery clears any
+        retry backoff: the new process starts with a clean slate."""
         now = time.time()
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "UPDATE jobs SET status='quarantined', finished_at=?, "
                 "lease_expires_at=NULL, "
                 "error='process died mid-run with no attempts left "
                 "(attempts ' || attempts || '/' || max_attempts || ')' "
                 "WHERE status='running' AND attempts>=max_attempts",
                 (now,))
-            self._conn.execute(
+            conn.execute(
                 "UPDATE jobs SET status='queued', started_at=NULL, "
                 "lease_expires_at=NULL, next_attempt_at=NULL "
                 "WHERE status='running'")
-            self._conn.execute(
+            conn.execute(
                 "UPDATE jobs SET next_attempt_at=NULL "
                 "WHERE status='queued'")
-            self._conn.commit()
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT * FROM jobs WHERE status='queued' "
                 "ORDER BY submitted_at").fetchall()
         return [_row_to_record(r) for r in rows]
 
     def counts(self) -> dict[str, int]:
         """Job counts per status (zero-filled for missing statuses)."""
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
             ).fetchall()
         out = {s: 0 for s in JOB_STATUSES}
@@ -439,49 +652,31 @@ class JobStore:
         return out
 
     # ------------------------------------------------------------------ #
-    # cross-client result cache
+    # cross-client result cache (delegates to the shards)
     # ------------------------------------------------------------------ #
 
     def cache_get(self, key: str) -> SolveReport | None:
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT report FROM results WHERE key=?", (key,)).fetchone()
-        if row is None:
-            return None
-        try:
-            return SolveReport.from_dict(json.loads(row["report"]))
-        except (ValueError, TypeError, json.JSONDecodeError):
-            return None     # corrupt entry: treat as a miss
+        return self.cache.peek(key)
 
     def cache_put(self, key: str, digest: str, report: SolveReport) -> None:
-        with self._lock:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results "
-                "(key, instance_digest, report, stored_at) VALUES (?,?,?,?)",
-                (key, digest, json.dumps(report.to_dict()), time.time()))
-            self._conn.commit()
+        self.cache.store(key, digest, report)
 
     def cached_reports_for_digest(self, digest: str) -> list[SolveReport]:
         """Every cached report for one instance content hash — the store
         doubles as a digest-indexed ReportCache across clients."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT report FROM results WHERE instance_digest=? "
-                "ORDER BY stored_at", (digest,)).fetchall()
-        return [SolveReport.from_dict(json.loads(r["report"])) for r in rows]
+        return self.cache.reports_for_digest(digest)
 
     def cache_size(self) -> int:
-        with self._lock:
-            (n,) = self._conn.execute(
-                "SELECT COUNT(*) FROM results").fetchone()
-        return n
+        return self.cache.size()
 
 
 class SqliteReportCache:
-    """Adapter giving :class:`JobStore`'s ``results`` table the
-    ``get``/``put`` interface ``run_batch(cache=...)`` expects, with the
-    same hit/miss counters :class:`~repro.engine.cache.ReportCache`
-    exposes (the service's ``/healthz`` reports them)."""
+    """Adapter giving a store's result cache the ``get``/``put``
+    interface ``run_batch(cache=...)`` expects, with the same hit/miss
+    counters :class:`~repro.resultcache.ReportCache` exposes. Kept for
+    callers that count hits per-adapter; new code can hand
+    ``store.cache`` (a counting :class:`ShardedReportCache`) to the
+    engine directly."""
 
     def __init__(self, store: JobStore) -> None:
         self._store = store
@@ -507,7 +702,7 @@ class SqliteReportCache:
                 self.hits += 1
         # mirrored into the process-global registry so /v1/healthz and
         # /v1/metrics read the same numbers (label "service" keeps the
-        # SQLite results table distinct from the engine's ReportCache)
+        # persistent store cache distinct from the engine's ReportCache)
         if rep is None:
             CACHE_MISSES.inc(cache="service")
         else:

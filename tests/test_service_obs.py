@@ -134,8 +134,8 @@ class TestTracePropagation:
                   if line["trace_id"] == "e2e-trace-0042"]
         events = {(line["logger"], line["event"]) for line in traced}
         assert ("repro.service.server", "http_request") in events
-        assert ("repro.service.queue", "job_started") in events
-        assert ("repro.service.queue", "job_finished") in events
+        assert ("repro.service.worker", "job_started") in events
+        assert ("repro.service.worker", "job_finished") in events
 
     def test_response_header_and_body_echo_the_trace(self, service, inst):
         status, headers, body = _get(
